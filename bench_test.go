@@ -1,0 +1,176 @@
+package pracsim_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the corresponding result at a reduced scale and
+// reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the experiment regeneration harness. The cmd/pracleak,
+// cmd/tpracsim and cmd/secanalysis binaries run the same experiments at
+// full scale with rendered reports.
+
+import (
+	"testing"
+
+	"pracsim"
+)
+
+func benchScale() pracsim.Scale {
+	return pracsim.Scale{
+		Warmup:    10_000,
+		Measured:  20_000,
+		Workloads: []string{"433.milc", "470.lbm", "401.bzip2", "444.namd"},
+	}
+}
+
+func BenchmarkFig3Characterization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig3(pracsim.FromUS(150))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].SpikeNS, "spike1-ns")
+		b.ReportMetric(res.Rows[3].SpikeNS, "spike4-ns")
+	}
+}
+
+func BenchmarkTable2CovertChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunTable2(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].BitrateKbps, "activity-256-kbps")
+		b.ReportMetric(res.Rows[3].BitrateKbps, "count-256-kbps")
+	}
+}
+
+func BenchmarkFig4SideChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig4(150)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Attack.AttackerCount), "attacker-acts")
+	}
+}
+
+func BenchmarkFig5KeySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig5(150, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.HitRate(), "hit-rate-pct")
+	}
+}
+
+func BenchmarkFig7Analysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Points[3].WithReset), "tmax-1trefi")
+	}
+}
+
+func BenchmarkFig9Defense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig9(150, 128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.UndefHits), "undefended-hits")
+		b.ReportMetric(float64(res.DefendedHit), "defended-hits")
+	}
+}
+
+func BenchmarkFig10MainPerformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.GeomeanAll[2]), "tprac-slowdown-pct")
+		b.ReportMetric(100*(1-res.GeomeanAll[1]), "acb-slowdown-pct")
+	}
+}
+
+func BenchmarkFig11PRACLevels(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig11(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.Geomean[2][2]), "tprac-prac4-slowdown-pct")
+	}
+}
+
+func BenchmarkFig12TargetedRefresh(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig12(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.Geomean[0][0]), "no-tref-slowdown-pct")
+		b.ReportMetric(100*(1-res.Geomean[4][0]), "tref1-slowdown-pct")
+	}
+}
+
+func BenchmarkFig13ThresholdSweep(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:2]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig13(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.Geomean[0][2]), "tprac-nrh128-slowdown-pct")
+		b.ReportMetric(100*(1-res.Geomean[3][2]), "tprac-nrh1024-slowdown-pct")
+	}
+}
+
+func BenchmarkFig14CounterReset(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:1]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunFig14(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.Geomean[0][0]), "reset-nrh128-slowdown-pct")
+		b.ReportMetric(100*(1-res.Geomean[0][1]), "noreset-nrh128-slowdown-pct")
+	}
+}
+
+func BenchmarkRFMpbExtension(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:1]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunRFMpb(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(1-res.RFMab[0]), "rfmab-nrh256-slowdown-pct")
+		b.ReportMetric(100*(1-res.RFMpb[0]), "rfmpb-nrh256-slowdown-pct")
+	}
+}
+
+func BenchmarkTable5Energy(b *testing.B) {
+	scale := benchScale()
+	scale.Workloads = scale.Workloads[:1]
+	for i := 0; i < b.N; i++ {
+		res, err := pracsim.RunTable5(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[3].TotalPct, "energy-nrh1024-pct")
+		b.ReportMetric(res.Rows[0].TotalPct, "energy-nrh128-pct")
+	}
+}

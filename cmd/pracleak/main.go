@@ -1,0 +1,88 @@
+// Command pracleak runs the PRACLeak attack experiments (Figures 3, 4, 5
+// and 9, Table 2) and prints their reports, optionally writing CSV files.
+//
+// Usage:
+//
+//	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-csvdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pracsim/internal/exp"
+	"pracsim/internal/ticks"
+)
+
+type report interface {
+	Render() string
+	CSV() string
+}
+
+func main() {
+	which := flag.String("exp", "all", "experiment: fig3, table2, fig4, fig5, fig9 or all")
+	quick := flag.Bool("quick", false, "reduced sweep sizes for fast runs")
+	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
+	flag.Parse()
+
+	runs := map[string]func() (report, error){
+		"fig3": func() (report, error) {
+			d := ticks.FromMS(2)
+			if *quick {
+				d = ticks.FromUS(200)
+			}
+			return exp.RunFig3(d)
+		},
+		"table2": func() (report, error) {
+			symbols := 64
+			if *quick {
+				symbols = 8
+			}
+			return exp.RunTable2(symbols)
+		},
+		"fig4": func() (report, error) { return exp.RunFig4(200) },
+		"fig5": func() (report, error) {
+			stride := 4
+			if *quick {
+				stride = 32
+			}
+			return exp.RunFig5(200, stride)
+		},
+		"fig9": func() (report, error) {
+			stride := 8
+			if *quick {
+				stride = 64
+			}
+			return exp.RunFig9(200, stride)
+		},
+	}
+	order := []string{"fig3", "table2", "fig4", "fig5", "fig9"}
+
+	selected := order
+	if *which != "all" {
+		if _, ok := runs[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "pracleak: unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+		selected = []string{*which}
+	}
+
+	for _, name := range selected {
+		res, err := runs[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pracleak: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pracleak: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

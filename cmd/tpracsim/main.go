@@ -1,0 +1,78 @@
+// Command tpracsim runs the TPRAC performance and energy experiments
+// (Figures 10-14, Table 5) and prints their reports, optionally writing
+// CSV files.
+//
+// Usage:
+//
+//	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|all [-scale quick|full] [-csvdir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pracsim/internal/exp"
+)
+
+type report interface {
+	Render() string
+	CSV() string
+}
+
+func main() {
+	which := flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, fig13, fig14, table5, rfmpb or all")
+	scaleName := flag.String("scale", "quick", "quick (8 workloads, short budgets) or full (all 50 workloads)")
+	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
+	flag.Parse()
+
+	var scale exp.Scale
+	switch *scaleName {
+	case "quick":
+		scale = exp.QuickScale()
+	case "full":
+		scale = exp.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "tpracsim: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runs := map[string]func() (report, error){
+		"fig10":  func() (report, error) { return exp.RunFig10(scale) },
+		"fig11":  func() (report, error) { return exp.RunFig11(scale) },
+		"fig12":  func() (report, error) { return exp.RunFig12(scale) },
+		"fig13":  func() (report, error) { return exp.RunFig13(scale) },
+		"fig14":  func() (report, error) { return exp.RunFig14(scale) },
+		"table5": func() (report, error) { return exp.RunTable5(scale) },
+		"rfmpb":  func() (report, error) { return exp.RunRFMpb(scale) },
+	}
+	order := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "rfmpb"}
+
+	selected := order
+	if *which != "all" {
+		if _, ok := runs[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "tpracsim: unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+		selected = []string{*which}
+	}
+
+	for _, name := range selected {
+		fmt.Printf("running %s at %s scale...\n", name, *scaleName)
+		res, err := runs[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tpracsim: writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command tracegen lists the synthetic workload catalog, exports workload
+// traces to the binary on-disk format, and inspects existing trace files.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload 433.milc -n 100000 -o milc.trc
+//	tracegen -inspect milc.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pracsim/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the workload catalog")
+	workload := flag.String("workload", "", "catalog workload to export")
+	n := flag.Int("n", 100_000, "number of records to export")
+	out := flag.String("o", "", "output trace file")
+	inspect := flag.String("inspect", "", "trace file to summarize")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-18s %-10s %s\n", "name", "suite", "class")
+		for _, w := range trace.Catalog() {
+			fmt.Printf("%-18s %-10s %s\n", w.Name, w.Suite, w.Class)
+		}
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		recs, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		mem, writes := 0, 0
+		lines := map[uint64]bool{}
+		for _, r := range recs {
+			if r.IsMem {
+				mem++
+				lines[r.Line] = true
+				if r.Write {
+					writes++
+				}
+			}
+		}
+		fmt.Printf("records: %d\nmemory ops: %d (%.1f%%)\nstores: %d\nfootprint: %d lines (%.1f MB)\n",
+			len(recs), mem, 100*float64(mem)/float64(max(len(recs), 1)), writes,
+			len(lines), float64(len(lines))*64/1e6)
+	case *workload != "":
+		if *out == "" {
+			fatal(fmt.Errorf("need -o output path"))
+		}
+		stream, err := trace.NewWorkloadStream(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		recs := trace.Take(stream, *n)
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Write(f, recs); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records of %s to %s\n", len(recs), *workload, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

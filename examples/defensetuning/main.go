@@ -1,0 +1,58 @@
+// Defense tuning: walk through configuring TPRAC for a device — compute the
+// worst-case Feinting-attack reach for candidate TB-Windows, solve the
+// widest safe window per RowHammer threshold, and validate one solution
+// against the live simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pracsim"
+)
+
+func main() {
+	p := pracsim.DefaultAnalysisParams()
+
+	fmt.Println("worst-case activations to a target row (Feinting attack) per TB-Window:")
+	fmt.Printf("%-18s %-12s %s\n", "TB-Window", "with reset", "without reset")
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		w := pracsim.Ticks(f * float64(p.TREFI))
+		fmt.Printf("%-18s %-12d %d\n",
+			fmt.Sprintf("%.2f tREFI", f), p.TMax(w, true), p.TMax(w, false))
+	}
+
+	fmt.Println("\nwidest safe TB-Window per RowHammer threshold (counter reset on):")
+	for _, nrh := range []int{128, 256, 512, 1024, 2048, 4096} {
+		w, err := p.SolveWindow(nrh, true, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("NRH %-5d -> TB-RFM every %v (%.2f tREFI, worst-case bandwidth loss %.1f%%)\n",
+			nrh, w, float64(w)/float64(p.TREFI), 100*350.0/w.NS())
+	}
+
+	// Validate the NRH=256 window against the live simulator with a
+	// scaled refresh window (seconds instead of minutes).
+	dcfg := pracsim.DefaultDRAMConfig(256)
+	dcfg.Timing.TREFW = pracsim.FromMS(2)
+	scaled := pracsim.DefaultAnalysisParams()
+	scaled.TREFW = dcfg.Timing.TREFW
+	window, err := scaled.SolveWindow(256, true, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nempirical validation at NRH=256 (scaled tREFW): TB-Window %v\n", window)
+	res, err := pracsim.RunEmpiricalFeinting(pracsim.EmpiricalConfig{
+		DRAM:   dcfg,
+		Window: window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Feinting attack: pool %d, %d rounds, target peaked at %d activations, %d alerts\n",
+		res.PoolSize, res.Rounds, res.TargetMaxActs, res.Alerts)
+	if res.Alerts == 0 {
+		fmt.Println("defense holds: the Back-Off threshold was never reached")
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: build the paper's Table 3 system, run a memory-intensive
+// workload under the no-ABO baseline and under TPRAC, and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pracsim"
+)
+
+func main() {
+	run := func(policy pracsim.PolicyKind) pracsim.RunResult {
+		cfg := pracsim.DefaultSystemConfig(1024) // RowHammer threshold 1024
+		cfg.Workload = "433.milc"
+		cfg.Policy = policy
+		if policy == pracsim.PolicyTPRAC {
+			// One Timing-Based RFM per 1.6 tREFI, the paper's operating
+			// point at this threshold. DefaultAnalysisParams().SolveWindow
+			// derives such windows from the Feinting-attack analysis.
+			cfg.TBWindow = pracsim.FromNS(6240)
+		}
+		sys, err := pracsim.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(20_000, 50_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	base := run(pracsim.PolicyNone)
+	tprac := run(pracsim.PolicyTPRAC)
+
+	fmt.Printf("workload 433.milc, 4 cores, DDR5-8000B, NRH=1024\n")
+	fmt.Printf("baseline:  IPC sum %.3f, RBMPKI %.1f\n", base.IPCSum, base.RBMPKI)
+	fmt.Printf("TPRAC:     IPC sum %.3f, TB-RFMs %d, alerts %d\n",
+		tprac.IPCSum, tprac.Ctrl.PolicyRFMs, tprac.DRAM.AlertsAsserted)
+	fmt.Printf("slowdown:  %.2f%%\n", 100*(1-tprac.IPCSum/base.IPCSum))
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pracsim/internal/attack"
+	"pracsim/internal/dram"
+	"pracsim/internal/memctrl"
+	"pracsim/internal/mitigation"
+	"pracsim/internal/ticks"
+)
+
+// EmpiricalConfig drives a live Feinting attack against a TPRAC-defended
+// simulator to validate a solved TB-Window (Section 4.2.3).
+type EmpiricalConfig struct {
+	DRAM     dram.Config
+	Window   ticks.T // TB-Window under test
+	PoolSize int     // initial decoy pool (0 = theoretical OptR1, capped)
+	MaxActs  int     // activation budget (0 = one scaled refresh window)
+}
+
+// EmpiricalResult reports what the attack achieved.
+type EmpiricalResult struct {
+	PoolSize      int
+	Rounds        int
+	TargetMaxActs uint32 // highest counter the target row ever reached
+	Alerts        int64
+	TBRFMs        int64
+}
+
+// RunEmpiricalFeinting executes the Feinting pattern — uniform rounds over a
+// shrinking decoy pool, then an all-in burst on the target — against TPRAC
+// with the given window, using the simulator's counters as the oracle the
+// worst-case analysis grants the adversary. The returned TargetMaxActs must
+// stay below NBO if the window was solved correctly.
+func RunEmpiricalFeinting(cfg EmpiricalConfig) (EmpiricalResult, error) {
+	if cfg.Window <= 0 {
+		return EmpiricalResult{}, fmt.Errorf("analysis: window must be positive")
+	}
+	p := ParamsFromDRAM(cfg.DRAM)
+	pool := cfg.PoolSize
+	if pool <= 0 {
+		pool = p.OptR1(cfg.Window, cfg.DRAM.PRAC.ResetOnREFW)
+	}
+	if pool > cfg.DRAM.Org.Rows-1 {
+		pool = cfg.DRAM.Org.Rows - 1
+	}
+	budget := cfg.MaxActs
+	if budget <= 0 {
+		budget = p.MaxActsPerTREFW()
+	}
+
+	policy, err := mitigation.NewTPRAC(cfg.Window, false)
+	if err != nil {
+		return EmpiricalResult{}, err
+	}
+	env, err := attack.NewEnv(cfg.DRAM, memctrl.DefaultConfig(), policy)
+	if err != nil {
+		return EmpiricalResult{}, err
+	}
+
+	const bank = 0
+	const target = 0
+	res := EmpiricalResult{PoolSize: pool}
+
+	// rows[0] is the target; the rest are decoys.
+	rows := make([]int, pool+1)
+	for i := range rows {
+		rows[i] = i
+	}
+
+	acts := 0
+	maxTarget := func() {
+		if c := env.Mod.RowCounter(bank, target); c > res.TargetMaxActs {
+			res.TargetMaxActs = c
+		}
+	}
+
+	for len(rows) > 1 && acts+len(rows) <= budget {
+		if err := activateOnce(env, bank, rows); err != nil {
+			return res, err
+		}
+		acts += len(rows)
+		res.Rounds++
+		maxTarget()
+		// Remove mitigated decoys: their counters were reset to zero.
+		kept := rows[:1]
+		for _, r := range rows[1:] {
+			if env.Mod.RowCounter(bank, r) > 0 {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	// Final round: all remaining budget on the target row.
+	burst := p.ActsPerWindow(cfg.Window)
+	if burst > budget-acts {
+		burst = budget - acts
+	}
+	if burst > 0 {
+		h, err := attack.NewHammerer(env, bank, target, []int{cfg.DRAM.Org.Rows - 1})
+		if err != nil {
+			return res, err
+		}
+		done := false
+		if err := h.Hammer(burst, func() { done = true }); err != nil {
+			return res, err
+		}
+		deadline := env.Eng.Now() + ticks.T(burst)*ticks.FromNS(300) + ticks.FromUS(100)
+		for !done && env.Eng.Now() < deadline {
+			env.Run(env.Eng.Now() + ticks.FromUS(5))
+			maxTarget()
+		}
+		maxTarget()
+	}
+
+	res.Alerts = env.Mod.Stats().AlertsAsserted
+	res.TBRFMs = env.Ctrl.Stats().PolicyRFMs
+	return res, nil
+}
+
+// activateOnce activates every row in rows one time, in order.
+func activateOnce(env *attack.Env, bank int, rows []int) error {
+	idx := 0
+	finished := false
+	var step func()
+	step = func() {
+		if idx >= len(rows) {
+			finished = true
+			return
+		}
+		row := rows[idx]
+		idx++
+		ok := env.Read(bank, row, 0, func(at ticks.T) {
+			env.Eng.At(at, func(ticks.T) { step() })
+		})
+		if !ok {
+			idx--
+			env.Eng.After(4, func(ticks.T) { step() })
+		}
+	}
+	step()
+	deadline := env.Eng.Now() + ticks.T(len(rows))*ticks.FromNS(300) + ticks.FromUS(200)
+	for !finished && env.Eng.Now() < deadline {
+		env.Run(env.Eng.Now() + ticks.FromUS(5))
+	}
+	if !finished {
+		return fmt.Errorf("analysis: round of %d activations stalled", len(rows))
+	}
+	return nil
+}

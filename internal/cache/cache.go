@@ -1,0 +1,345 @@
+// Package cache implements the simulated cache hierarchy: set-associative
+// caches with LRU or SRRIP replacement, MSHR-based miss handling with miss
+// merging, write-back/write-allocate semantics, and an IP-stride prefetcher.
+//
+// Timing is functional: a lookup either completes at a computed future time
+// (hit) or turns into a fetch from the next level whose completion time
+// flows back through callbacks. All levels are single-threaded, driven by
+// the core/engine clock.
+package cache
+
+import (
+	"fmt"
+
+	"pracsim/internal/ticks"
+)
+
+// Fetcher is anything that can supply cache lines: a lower cache level or
+// the memory-controller adapter.
+type Fetcher interface {
+	// Fetch requests a line; done runs when data is available, with the
+	// completion time. It reports false if the request cannot be
+	// accepted right now (MSHRs or queues full) — the caller must retry.
+	Fetch(line uint64, now ticks.T, done func(at ticks.T)) bool
+
+	// WriteBack hands a dirty line downstream. It reports false if the
+	// request cannot be accepted right now.
+	WriteBack(line uint64, now ticks.T) bool
+}
+
+// ReplKind selects the replacement policy.
+type ReplKind int
+
+const (
+	// LRU evicts the least recently used way.
+	LRU ReplKind = iota
+	// SRRIP is static re-reference interval prediction (Jaleel et al.,
+	// ISCA'10), the paper's LLC policy.
+	SRRIP
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name    string
+	Sets    int
+	Ways    int
+	Latency ticks.T // lookup latency added on the hit path
+	Repl    ReplKind
+	MSHRs   int
+}
+
+// KB is a convenience for sizing caches in bytes.
+const KB = 1024
+
+// SetsFor computes the set count for a capacity/associativity/line size.
+func SetsFor(capacityBytes, ways, lineBytes int) int {
+	return capacityBytes / (ways * lineBytes)
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	MSHRMerges int64
+	Writebacks int64
+	Prefetches int64
+	Stalls     int64 // rejected accesses (MSHR/downstream full)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+	rrpv  uint8
+}
+
+type mshr struct {
+	line    uint64
+	waiters []func(at ticks.T)
+	write   bool // at least one merged request was a store
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	cfg  Config
+	sets [][]line
+	next Fetcher
+
+	mshrs   map[uint64]*mshr
+	lruTick uint64
+
+	prefetcher *IPStride
+
+	stats Stats
+}
+
+const srripMax = 3 // 2-bit RRPV
+
+// New builds a cache level over the given downstream fetcher.
+func New(cfg Config, next Fetcher) (*Cache, error) {
+	switch {
+	case next == nil:
+		return nil, fmt.Errorf("cache %s: downstream fetcher required", cfg.Name)
+	case cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0:
+		return nil, fmt.Errorf("cache %s: sets (%d) must be a positive power of two", cfg.Name, cfg.Sets)
+	case cfg.Ways <= 0:
+		return nil, fmt.Errorf("cache %s: ways must be positive", cfg.Name)
+	case cfg.MSHRs <= 0:
+		return nil, fmt.Errorf("cache %s: MSHRs must be positive", cfg.Name)
+	case cfg.Latency < 0:
+		return nil, fmt.Errorf("cache %s: negative latency", cfg.Name)
+	}
+	sets := make([][]line, cfg.Sets)
+	backing := make([]line, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		next:  next,
+		mshrs: make(map[uint64]*mshr, cfg.MSHRs),
+	}, nil
+}
+
+// AttachIPStride enables an IP-stride prefetcher on this level.
+func (c *Cache) AttachIPStride(tableSize, degree int) error {
+	p, err := NewIPStride(tableSize, degree)
+	if err != nil {
+		return err
+	}
+	c.prefetcher = p
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(lineAddr uint64) []line { return c.sets[lineAddr&uint64(c.cfg.Sets-1)] }
+func (c *Cache) tagOf(lineAddr uint64) uint64 { return lineAddr >> uintLog2(c.cfg.Sets) }
+
+func uintLog2(n int) uint {
+	var b uint
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Access performs a demand access from above (core or upper level). pc is
+// the accessing instruction's address, used by the prefetcher. It reports
+// false if the access cannot be accepted right now.
+func (c *Cache) Access(lineAddr uint64, write bool, pc uint64, now ticks.T, done func(at ticks.T)) bool {
+	ok := c.access(lineAddr, write, now, done, false)
+	if ok && c.prefetcher != nil {
+		for _, target := range c.prefetcher.Observe(pc, lineAddr) {
+			if c.access(target, false, now, nil, true) {
+				c.stats.Prefetches++
+			}
+		}
+	}
+	return ok
+}
+
+func (c *Cache) access(lineAddr uint64, write bool, now ticks.T, done func(at ticks.T), prefetch bool) bool {
+	set := c.setOf(lineAddr)
+	tag := c.tagOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.touch(&set[i])
+			if write {
+				set[i].dirty = true
+			}
+			if !prefetch {
+				c.stats.Hits++
+			}
+			if done != nil {
+				done(now + c.cfg.Latency)
+			}
+			return true
+		}
+	}
+	if prefetch {
+		// Prefetches are best-effort: drop rather than stall.
+		if len(c.mshrs) >= c.cfg.MSHRs {
+			return false
+		}
+		if _, pending := c.mshrs[lineAddr]; pending {
+			return false
+		}
+	}
+	// Miss: merge into an existing MSHR if the line is already in flight.
+	if m, pending := c.mshrs[lineAddr]; pending {
+		if done != nil {
+			m.waiters = append(m.waiters, done)
+		}
+		m.write = m.write || write
+		if !prefetch {
+			c.stats.Misses++
+			c.stats.MSHRMerges++
+		}
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stats.Stalls++
+		return false
+	}
+	m := &mshr{line: lineAddr, write: write}
+	if done != nil {
+		m.waiters = append(m.waiters, done)
+	}
+	// Register before fetching: a downstream hit may complete (and fill)
+	// synchronously, and fill must find the MSHR it is retiring.
+	c.mshrs[lineAddr] = m
+	accepted := c.next.Fetch(lineAddr, now+c.cfg.Latency, func(at ticks.T) {
+		c.fill(lineAddr, m, at)
+	})
+	if !accepted {
+		delete(c.mshrs, lineAddr)
+		c.stats.Stalls++
+		return false
+	}
+	if !prefetch {
+		c.stats.Misses++
+	}
+	return true
+}
+
+// fill installs a fetched line, evicting (and writing back) as needed, then
+// wakes all merged waiters.
+func (c *Cache) fill(lineAddr uint64, m *mshr, at ticks.T) {
+	delete(c.mshrs, lineAddr)
+	set := c.setOf(lineAddr)
+	victim := c.pickVictim(set)
+	if victim.valid && victim.dirty {
+		// The victim shares the incoming line's set index.
+		victimAddr := victim.tag<<uintLog2(c.cfg.Sets) | (lineAddr & uint64(c.cfg.Sets-1))
+		if !c.next.WriteBack(victimAddr, at) {
+			// Caches always accept writebacks and the MC adapter
+			// buffers them, so a refusal is a wiring bug, not a
+			// runtime condition to absorb.
+			panic(fmt.Sprintf("cache %s: writeback refused by downstream", c.cfg.Name))
+		}
+		c.stats.Writebacks++
+	}
+	victim.valid = true
+	victim.dirty = m.write
+	victim.tag = c.tagOf(lineAddr)
+	c.insertMeta(victim)
+	for _, w := range m.waiters {
+		w(at + c.cfg.Latency)
+	}
+}
+
+// touch updates replacement metadata on a hit.
+func (c *Cache) touch(l *line) {
+	switch c.cfg.Repl {
+	case LRU:
+		c.lruTick++
+		l.lru = c.lruTick
+	case SRRIP:
+		l.rrpv = 0
+	}
+}
+
+// insertMeta initializes replacement metadata on fill.
+func (c *Cache) insertMeta(l *line) {
+	switch c.cfg.Repl {
+	case LRU:
+		c.lruTick++
+		l.lru = c.lruTick
+	case SRRIP:
+		l.rrpv = srripMax - 1 // long re-reference prediction on insert
+	}
+}
+
+// pickVictim chooses the way to replace in a set.
+func (c *Cache) pickVictim(set []line) *line {
+	for i := range set {
+		if !set[i].valid {
+			return &set[i]
+		}
+	}
+	switch c.cfg.Repl {
+	case LRU:
+		victim := &set[0]
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < victim.lru {
+				victim = &set[i]
+			}
+		}
+		return victim
+	case SRRIP:
+		for {
+			for i := range set {
+				if set[i].rrpv >= srripMax {
+					return &set[i]
+				}
+			}
+			for i := range set {
+				set[i].rrpv++
+			}
+		}
+	default:
+		panic("cache: unknown replacement policy")
+	}
+}
+
+// Fetch implements Fetcher, letting caches stack: an upper level's miss is
+// a demand access here without prefetcher involvement.
+func (c *Cache) Fetch(lineAddr uint64, now ticks.T, done func(at ticks.T)) bool {
+	return c.access(lineAddr, false, now, done, false)
+}
+
+// WriteBack implements Fetcher: a dirty line arriving from above is
+// installed dirty (allocating if needed). Writebacks are accepted
+// unconditionally; if the line must be fetched space, it is installed
+// without a downstream read since the data arrives complete.
+func (c *Cache) WriteBack(lineAddr uint64, now ticks.T) bool {
+	set := c.setOf(lineAddr)
+	tag := c.tagOf(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			c.touch(&set[i])
+			return true
+		}
+	}
+	victim := c.pickVictim(set)
+	if victim.valid && victim.dirty {
+		victimAddr := victim.tag<<uintLog2(c.cfg.Sets) | (lineAddr & uint64(c.cfg.Sets-1))
+		if !c.next.WriteBack(victimAddr, now) {
+			panic(fmt.Sprintf("cache %s: writeback refused by downstream", c.cfg.Name))
+		}
+		c.stats.Writebacks++
+	}
+	victim.valid = true
+	victim.dirty = true
+	victim.tag = tag
+	c.insertMeta(victim)
+	return true
+}

@@ -1,0 +1,213 @@
+// Package cpu implements the trace-driven out-of-order-lite core model used
+// for the paper's performance studies. It captures the properties the
+// memory-system results depend on — a reorder-buffer-limited instruction
+// window, bounded issue/retire width, loads that block retirement until data
+// returns, and posted stores — without simulating a full pipeline (the
+// paper's own footnote reports <1% sensitivity to front-end policies).
+package cpu
+
+import (
+	"fmt"
+
+	"pracsim/internal/ticks"
+	"pracsim/internal/trace"
+)
+
+// CyclePeriod is one core clock at 4 GHz.
+const CyclePeriod = ticks.T(1)
+
+// MemPort is where the core sends memory accesses (the L1 data cache).
+type MemPort interface {
+	Access(line uint64, write bool, pc uint64, now ticks.T, done func(at ticks.T)) bool
+}
+
+// Config sizes the core per the paper's Table 3.
+type Config struct {
+	IssueWidth  int
+	RetireWidth int
+	ROBSize     int
+}
+
+// DefaultConfig is the paper's 6-issue, 4-retire, 352-entry ROB core.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 6, RetireWidth: 4, ROBSize: 352}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.IssueWidth <= 0 || c.RetireWidth <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: widths and ROB size must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Stats counts core progress.
+type Stats struct {
+	Instructions int64
+	Cycles       int64
+	Loads        int64
+	Stores       int64
+	StallCycles  int64 // cycles where issue made no progress
+}
+
+// IPC reports retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+const pendingCompletion = ticks.T(-1)
+
+type robEntry struct {
+	completeAt ticks.T // pendingCompletion until the load's data returns
+}
+
+// Core is one simulated hardware context.
+type Core struct {
+	id     int
+	cfg    Config
+	stream trace.Stream
+	mem    MemPort
+
+	rob   []robEntry
+	head  int
+	count int
+
+	stalled    *trace.Record
+	streamDone bool
+
+	offset uint64 // address-space offset in cache lines
+	lines  uint64 // address-space size for wrapping
+
+	stats Stats
+}
+
+// New builds a core reading from stream and accessing memory through mem.
+// offset and lines place the core's address space: every trace line address
+// is relocated to (line+offset) mod lines, modeling per-process physical
+// allocations like ChampSim's per-core address spaces.
+func New(id int, cfg Config, stream trace.Stream, mem MemPort, offset, lines uint64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if stream == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: core %d needs a stream and a memory port", id)
+	}
+	if lines == 0 {
+		return nil, fmt.Errorf("cpu: core %d has an empty address space", id)
+	}
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		stream: stream,
+		mem:    mem,
+		rob:    make([]robEntry, cfg.ROBSize),
+		offset: offset,
+		lines:  lines,
+	}, nil
+}
+
+// ID reports the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters (used at the warmup/measurement boundary).
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Done reports whether the trace is exhausted and the pipeline drained.
+func (c *Core) Done() bool { return c.streamDone && c.count == 0 && c.stalled == nil }
+
+// Tick advances the core by one cycle: retire then issue.
+func (c *Core) Tick(now ticks.T) {
+	c.stats.Cycles++
+	c.retire(now)
+	c.issue(now)
+}
+
+func (c *Core) retire(now ticks.T) {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.completeAt == pendingCompletion || e.completeAt > now {
+			return
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.stats.Instructions++
+	}
+}
+
+func (c *Core) issue(now ticks.T) {
+	progressed := false
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.count == len(c.rob) {
+			break
+		}
+		rec, ok := c.nextRecord()
+		if !ok {
+			break
+		}
+		if !c.dispatch(rec, now) {
+			c.stalled = rec
+			break
+		}
+		progressed = true
+	}
+	if !progressed && !c.streamDone {
+		c.stats.StallCycles++
+	}
+}
+
+// nextRecord returns the stalled record if any, else pulls from the stream.
+func (c *Core) nextRecord() (*trace.Record, bool) {
+	if c.stalled != nil {
+		r := c.stalled
+		c.stalled = nil
+		return r, true
+	}
+	if c.streamDone {
+		return nil, false
+	}
+	rec, ok := c.stream.Next()
+	if !ok {
+		c.streamDone = true
+		return nil, false
+	}
+	return &rec, true
+}
+
+// dispatch places one instruction into the ROB. It reports false when the
+// memory system refused the access (the instruction must retry next cycle).
+func (c *Core) dispatch(rec *trace.Record, now ticks.T) bool {
+	slot := (c.head + c.count) % len(c.rob)
+	e := &c.rob[slot]
+	if !rec.IsMem {
+		e.completeAt = now + CyclePeriod
+		c.count++
+		return true
+	}
+	line := (rec.Line + c.offset) % c.lines
+	if rec.Write {
+		// Stores retire without waiting: the store buffer posts them.
+		if !c.mem.Access(line, true, rec.PC, now, nil) {
+			return false
+		}
+		e.completeAt = now + CyclePeriod
+		c.count++
+		c.stats.Stores++
+		return true
+	}
+	e.completeAt = pendingCompletion
+	accepted := c.mem.Access(line, false, rec.PC, now, func(at ticks.T) {
+		e.completeAt = at
+	})
+	if !accepted {
+		return false
+	}
+	c.count++
+	c.stats.Loads++
+	return true
+}

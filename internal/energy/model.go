@@ -1,0 +1,113 @@
+// Package energy models DRAM energy for the paper's Table 5: the overhead
+// of TPRAC split into mitigation energy (the five extra activations each
+// RFM-driven mitigation performs: four victim refreshes plus one
+// counter-reset activation) and non-mitigation energy (longer execution
+// time under reduced bandwidth).
+//
+// Absolute per-operation energies are datasheet-typical DDR5 estimates —
+// the authors' testbed constants are not public — so, exactly like the
+// paper, results are reported as overheads relative to a baseline run.
+package energy
+
+import (
+	"fmt"
+
+	"pracsim/internal/dram"
+	"pracsim/internal/ticks"
+)
+
+// Params holds per-operation energies in picojoules and background power
+// in milliwatts per rank.
+type Params struct {
+	ACTPrePJ            float64 // one ACT+PRE pair
+	ReadPJ              float64 // one 64B read burst
+	WritePJ             float64 // one 64B write burst
+	RefabPJ             float64 // one all-bank refresh of one rank
+	MitigationPJ        float64 // one mitigated row: 4 victim refreshes + 1 reset ACT
+	BackgroundMWPerRank float64
+}
+
+// DefaultParams returns the model's DDR5-class constants.
+func DefaultParams() Params {
+	const actPre = 170
+	return Params{
+		ACTPrePJ:            actPre,
+		ReadPJ:              300,
+		WritePJ:             330,
+		RefabPJ:             28_000,
+		MitigationPJ:        5 * actPre,
+		BackgroundMWPerRank: 120,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.ACTPrePJ <= 0 || p.ReadPJ <= 0 || p.WritePJ <= 0 || p.RefabPJ <= 0 ||
+		p.MitigationPJ <= 0 || p.BackgroundMWPerRank <= 0 {
+		return fmt.Errorf("energy: all parameters must be positive: %+v", p)
+	}
+	return nil
+}
+
+// Breakdown is the energy of one simulation interval, in picojoules.
+type Breakdown struct {
+	AccessPJ     float64 // demand ACT/PRE/RD/WR
+	RefreshPJ    float64 // periodic refresh
+	MitigationPJ float64 // RFM- and TREF-driven row mitigations
+	BackgroundPJ float64 // static power over the interval
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 {
+	return b.AccessPJ + b.RefreshPJ + b.MitigationPJ + b.BackgroundPJ
+}
+
+// Compute derives the energy breakdown from device stats over an interval.
+func Compute(p Params, st dram.Stats, ranks int, elapsed ticks.T) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if ranks <= 0 || elapsed < 0 {
+		return Breakdown{}, fmt.Errorf("energy: ranks must be positive and elapsed non-negative")
+	}
+	seconds := elapsed.Seconds()
+	return Breakdown{
+		AccessPJ:     float64(st.ACTs)*p.ACTPrePJ + float64(st.RDs)*p.ReadPJ + float64(st.WRs)*p.WritePJ,
+		RefreshPJ:    float64(st.REFs) * p.RefabPJ,
+		MitigationPJ: float64(st.MitigatedRows) * p.MitigationPJ,
+		BackgroundPJ: p.BackgroundMWPerRank * float64(ranks) * seconds * 1e9, // mW*s = 1e9 pJ
+	}, nil
+}
+
+// Overhead is the paper's Table 5 row: mitigation and non-mitigation energy
+// overheads of a defended run relative to a baseline run, in percent.
+type Overhead struct {
+	MitigationPct    float64
+	NonMitigationPct float64
+	TotalPct         float64
+}
+
+// CompareRuns computes Table 5 numbers. Both runs must have executed the
+// same work (the harness runs the same instruction budget).
+func CompareRuns(p Params, baseline, defended dram.Stats, ranks int, baseElapsed, defElapsed ticks.T) (Overhead, error) {
+	base, err := Compute(p, baseline, ranks, baseElapsed)
+	if err != nil {
+		return Overhead{}, err
+	}
+	def, err := Compute(p, defended, ranks, defElapsed)
+	if err != nil {
+		return Overhead{}, err
+	}
+	baseTotal := base.Total()
+	if baseTotal <= 0 {
+		return Overhead{}, fmt.Errorf("energy: baseline total is zero")
+	}
+	mit := def.MitigationPJ - base.MitigationPJ
+	total := def.Total() - baseTotal
+	o := Overhead{
+		MitigationPct: 100 * mit / baseTotal,
+		TotalPct:      100 * total / baseTotal,
+	}
+	o.NonMitigationPct = o.TotalPct - o.MitigationPct
+	return o, nil
+}

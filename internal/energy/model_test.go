@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pracsim/internal/dram"
+	"pracsim/internal/ticks"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	p := DefaultParams()
+	st := dram.Stats{ACTs: 100, RDs: 50, WRs: 20, REFs: 10, MitigatedRows: 4}
+	b, err := Compute(p, st, 4, ticks.FromUS(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAccess := 100*p.ACTPrePJ + 50*p.ReadPJ + 20*p.WritePJ
+	if b.AccessPJ != wantAccess {
+		t.Errorf("AccessPJ = %v, want %v", b.AccessPJ, wantAccess)
+	}
+	if b.RefreshPJ != 10*p.RefabPJ {
+		t.Errorf("RefreshPJ = %v, want %v", b.RefreshPJ, 10*p.RefabPJ)
+	}
+	if b.MitigationPJ != 4*p.MitigationPJ {
+		t.Errorf("MitigationPJ = %v, want %v", b.MitigationPJ, 4*p.MitigationPJ)
+	}
+	// 120mW * 4 ranks * 10us = 4.8uJ = 4.8e6 pJ.
+	if b.BackgroundPJ < 4.7e6 || b.BackgroundPJ > 4.9e6 {
+		t.Errorf("BackgroundPJ = %v, want about 4.8e6", b.BackgroundPJ)
+	}
+	if b.Total() <= 0 {
+		t.Error("zero total energy")
+	}
+}
+
+func TestCompareRunsSplitsOverheads(t *testing.T) {
+	p := DefaultParams()
+	base := dram.Stats{ACTs: 1000, RDs: 1000, REFs: 100}
+	defended := base
+	defended.MitigatedRows = 200
+	defended.ACTs += 0
+	// Defended run takes 10% longer wall-clock.
+	o, err := CompareRuns(p, base, defended, 4, ticks.FromUS(100), ticks.FromUS(110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MitigationPct <= 0 {
+		t.Errorf("MitigationPct = %v, want positive", o.MitigationPct)
+	}
+	if o.NonMitigationPct <= 0 {
+		t.Errorf("NonMitigationPct = %v, want positive (longer execution)", o.NonMitigationPct)
+	}
+	diff := o.TotalPct - o.MitigationPct - o.NonMitigationPct
+	if diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("overhead split does not add up: %+v", o)
+	}
+}
+
+func TestCompareRunsIdenticalIsZero(t *testing.T) {
+	p := DefaultParams()
+	st := dram.Stats{ACTs: 10, RDs: 10, REFs: 1}
+	o, err := CompareRuns(p, st, st, 4, ticks.FromUS(10), ticks.FromUS(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.TotalPct != 0 || o.MitigationPct != 0 {
+		t.Errorf("identical runs produced overhead %+v", o)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultParams()
+	bad.ReadPJ = 0
+	if _, err := Compute(bad, dram.Stats{}, 4, 0); err == nil {
+		t.Error("zero ReadPJ accepted")
+	}
+	if _, err := Compute(DefaultParams(), dram.Stats{}, 0, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := CompareRuns(DefaultParams(), dram.Stats{}, dram.Stats{}, 4, 0, 0); err == nil {
+		t.Error("zero-energy baseline accepted")
+	}
+}
+
+// Property: energy is monotone in every stat counter.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	prop := func(acts, rds, wrs, refs, mits uint16, extra uint8) bool {
+		st := dram.Stats{
+			ACTs: int64(acts), RDs: int64(rds), WRs: int64(wrs),
+			REFs: int64(refs), MitigatedRows: int64(mits),
+		}
+		b1, err := Compute(p, st, 4, ticks.FromUS(10))
+		if err != nil {
+			return false
+		}
+		st.ACTs += int64(extra)
+		st.MitigatedRows += int64(extra)
+		b2, err := Compute(p, st, 4, ticks.FromUS(10))
+		if err != nil {
+			return false
+		}
+		return b2.Total() >= b1.Total()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/aes"
+	"pracsim/internal/attack"
+	"pracsim/internal/mitigation"
+	"pracsim/internal/stats"
+	"pracsim/internal/ticks"
+)
+
+// Fig4Result is one attack instance with its timeline (the paper's Figure 4:
+// p0 = 0, k0 = 0, watching Row 0 versus the other rows).
+type Fig4Result struct {
+	Attack   attack.AESResult
+	NBO      int
+	VictimBy []attack.TimelinePoint
+}
+
+// RunFig4 reproduces Figure 4.
+func RunFig4(encryptions int) (Fig4Result, error) {
+	if encryptions <= 0 {
+		encryptions = 200
+	}
+	key := make([]byte, aes.KeySize) // k0 = 0, as in the paper's example
+	res, err := attack.RunAESAttackVoted(attack.AESConfig{
+		Key:         key,
+		TargetByte:  0,
+		Plaintext:   0,
+		Encryptions: encryptions,
+		NBO:         256,
+		Seed:        1,
+		TimelineRes: ticks.FromUS(10),
+	}, 3)
+	if err != nil {
+		return Fig4Result{}, fmt.Errorf("fig4: %w", err)
+	}
+	return Fig4Result{Attack: res, NBO: 256, VictimBy: res.Timeline}, nil
+}
+
+// Render returns the human-readable report.
+func (r Fig4Result) Render() string {
+	a := r.Attack
+	t := &stats.Table{Header: []string{"quantity", "value"}}
+	t.Add("victim activations to hot row", a.VictimRowActs[a.TrueRow%aes.CacheLinesPerTable])
+	maxOther := uint32(0)
+	for l, c := range a.VictimRowActs {
+		if l != a.TrueRow%aes.CacheLinesPerTable && c > maxOther {
+			maxOther = c
+		}
+	}
+	t.Add("max other-row activations", maxOther)
+	t.Add("attacker activations to ABO", a.AttackerCount)
+	t.Add("victim+attacker on hot row", int(a.VictimRowActs[a.TrueRow%aes.CacheLinesPerTable])+a.AttackerCount)
+	t.Add("NBO", r.NBO)
+	t.Add("row triggering ABO", a.RecoveredRow)
+	t.Add("true hot row", a.TrueRow)
+
+	target := make([]float64, 0, len(r.VictimBy))
+	other := make([]float64, 0, len(r.VictimBy))
+	rfms := make([]float64, 0, len(r.VictimBy))
+	for _, p := range r.VictimBy {
+		target = append(target, float64(p.TargetActs))
+		other = append(other, float64(p.MaxOther))
+		rfms = append(rfms, float64(p.RFMs))
+	}
+	return "Figure 4: PRACLeak side channel on AES T-tables (p0=0, k0=0)\n" +
+		t.String() +
+		"hot-row activations over time: " + stats.Sparkline(target) + "\n" +
+		"other-row activations over time: " + stats.Sparkline(other) + "\n" +
+		"cumulative RFMs over time:       " + stats.Sparkline(rfms) + "\n"
+}
+
+// CSV returns the timeline as CSV.
+func (r Fig4Result) CSV() string {
+	t := &stats.Table{Header: []string{"time_us", "hot_row_acts", "max_other_acts", "rfms"}}
+	for _, p := range r.VictimBy {
+		t.Add(p.At.US(), int(p.TargetActs), int(p.MaxOther), p.RFMs)
+	}
+	return t.CSV()
+}
+
+// Fig5Result sweeps the key byte value and records, per k0, the victim's
+// per-row activation profile (panel a) and the attacker count on the row
+// that triggered the first ABO (panel b).
+type Fig5Result struct {
+	K0Values      []int
+	VictimActs    [][]float64 // [row][k0 index]
+	AttackerCount []int
+	TriggerRow    []int
+	TrueRow       []int
+	Hits          int
+}
+
+// RunFig5 reproduces Figure 5, sweeping k0 across the byte range with the
+// given stride (paper: stride 1; use larger strides for quick runs).
+func RunFig5(encryptions, stride int) (Fig5Result, error) {
+	if encryptions <= 0 {
+		encryptions = 200
+	}
+	if stride <= 0 {
+		stride = 16
+	}
+	res := Fig5Result{VictimActs: make([][]float64, aes.CacheLinesPerTable)}
+	for k0 := 0; k0 < 256; k0 += stride {
+		key := make([]byte, aes.KeySize)
+		key[0] = byte(k0)
+		a, err := attack.RunAESAttackVoted(attack.AESConfig{
+			Key:         key,
+			TargetByte:  0,
+			Plaintext:   0,
+			Encryptions: encryptions,
+			NBO:         256,
+			Seed:        int64(k0) + 7,
+		}, 3)
+		if err != nil {
+			return res, fmt.Errorf("fig5 k0=%d: %w", k0, err)
+		}
+		res.K0Values = append(res.K0Values, k0)
+		for row := 0; row < aes.CacheLinesPerTable; row++ {
+			res.VictimActs[row] = append(res.VictimActs[row], float64(a.VictimRowActs[row]))
+		}
+		res.AttackerCount = append(res.AttackerCount, a.AttackerCount)
+		res.TriggerRow = append(res.TriggerRow, a.RecoveredRow)
+		res.TrueRow = append(res.TrueRow, a.TrueRow)
+		if a.Hit {
+			res.Hits++
+		}
+	}
+	return res, nil
+}
+
+// HitRate reports the fraction of key values whose hot row was identified.
+func (r Fig5Result) HitRate() float64 {
+	if len(r.K0Values) == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(len(r.K0Values))
+}
+
+// Render returns the human-readable report.
+func (r Fig5Result) Render() string {
+	s := fmt.Sprintf("Figure 5: AES key byte sweep (%d key values, hit rate %.0f%%)\n",
+		len(r.K0Values), 100*r.HitRate())
+	s += "(a) victim activations heatmap (rows 0-15 top to bottom, k0 left to right):\n"
+	s += stats.Heatmap(r.VictimActs)
+	s += "(b) attacker activations to the row causing the first ABO:\n"
+	counts := make([]float64, len(r.AttackerCount))
+	for i, c := range r.AttackerCount {
+		counts[i] = float64(c)
+	}
+	s += stats.Sparkline(counts) + "\n"
+	t := &stats.Table{Header: []string{"k0", "trigger_row", "true_row", "attacker_acts"}}
+	for i, k0 := range r.K0Values {
+		t.Add(k0, r.TriggerRow[i], r.TrueRow[i], r.AttackerCount[i])
+	}
+	return s + t.String()
+}
+
+// CSV returns panel (b) plus attribution as CSV.
+func (r Fig5Result) CSV() string {
+	t := &stats.Table{Header: []string{"k0", "trigger_row", "true_row", "attacker_acts"}}
+	for i, k0 := range r.K0Values {
+		t.Add(k0, r.TriggerRow[i], r.TrueRow[i], r.AttackerCount[i])
+	}
+	return t.CSV()
+}
+
+// Fig9Result compares the row triggering the first RFM with and without
+// TPRAC across a key sweep.
+type Fig9Result struct {
+	K0Values    []int
+	TrueRows    []int
+	Undefended  []int
+	Defended    []int
+	UndefHits   int
+	DefendedHit int
+}
+
+// RunFig9 reproduces Figure 9: without the defense the first-RFM row tracks
+// the key; with TPRAC it does not.
+func RunFig9(encryptions, stride int) (Fig9Result, error) {
+	if encryptions <= 0 {
+		encryptions = 200
+	}
+	if stride <= 0 {
+		stride = 32
+	}
+	var res Fig9Result
+	defense := func() (mitigation.Policy, error) {
+		// 0.25 tREFI: comfortably below the solved window for NBO=256.
+		return mitigation.NewTPRAC(ticks.FromNS(975), false)
+	}
+	for k0 := 0; k0 < 256; k0 += stride {
+		key := make([]byte, aes.KeySize)
+		key[0] = byte(k0)
+		base := attack.AESConfig{
+			Key: key, TargetByte: 0, Plaintext: 0,
+			Encryptions: encryptions, NBO: 256, Seed: int64(k0) + 3,
+		}
+		undef, err := attack.RunAESAttackVoted(base, 3)
+		if err != nil {
+			return res, fmt.Errorf("fig9 undefended k0=%d: %w", k0, err)
+		}
+		withDef := base
+		withDef.Defense = defense
+		def, err := attack.RunAESAttack(withDef)
+		if err != nil {
+			return res, fmt.Errorf("fig9 defended k0=%d: %w", k0, err)
+		}
+		res.K0Values = append(res.K0Values, k0)
+		res.TrueRows = append(res.TrueRows, undef.TrueRow)
+		res.Undefended = append(res.Undefended, undef.RecoveredRow)
+		res.Defended = append(res.Defended, def.RecoveredRow)
+		if undef.Hit {
+			res.UndefHits++
+		}
+		if def.Hit {
+			res.DefendedHit++
+		}
+	}
+	return res, nil
+}
+
+func (r Fig9Result) table() *stats.Table {
+	t := &stats.Table{Header: []string{"k0", "true_row", "first_rfm_row_undefended", "first_rfm_row_tprac"}}
+	for i, k0 := range r.K0Values {
+		t.Add(k0, r.TrueRows[i], r.Undefended[i], r.Defended[i])
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r Fig9Result) Render() string {
+	n := len(r.K0Values)
+	return fmt.Sprintf(
+		"Figure 9: row triggering first RFM (undefended leak rate %d/%d, under TPRAC %d/%d)\n",
+		r.UndefHits, n, r.DefendedHit, n) + r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r Fig9Result) CSV() string { return r.table().CSV() }

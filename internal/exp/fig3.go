@@ -1,0 +1,80 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation. Each runner executes the relevant simulations, returns a
+// structured result, and can render itself as an aligned ASCII table (for
+// terminals) and CSV (for plotting).
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/attack"
+	"pracsim/internal/stats"
+	"pracsim/internal/ticks"
+)
+
+// Fig3Row is one panel of Figure 3: probe latency under a given PRAC level.
+type Fig3Row struct {
+	NMit            int // 0 = No ABO
+	BaselineNS      float64
+	SpikeNS         float64
+	Spikes          int
+	ABOs            int64
+	SamplesObserved int
+}
+
+// Fig3Result holds all four panels.
+type Fig3Result struct {
+	Rows     []Fig3Row
+	Duration ticks.T
+}
+
+// RunFig3 reproduces Figure 3: timing variation seen by a concurrent
+// observer with no ABO and with 1, 2 and 4 RFMs per ABO.
+func RunFig3(duration ticks.T) (Fig3Result, error) {
+	if duration <= 0 {
+		duration = ticks.FromUS(500)
+	}
+	res := Fig3Result{Duration: duration}
+	for _, nmit := range []int{0, 1, 2, 4} {
+		r, err := attack.RunCharacterization(attack.CharacterizeConfig{
+			NBO:      256,
+			NMit:     nmit,
+			Duration: duration,
+		})
+		if err != nil {
+			return res, fmt.Errorf("fig3 nmit=%d: %w", nmit, err)
+		}
+		res.Rows = append(res.Rows, Fig3Row{
+			NMit:            nmit,
+			BaselineNS:      r.BaselineLatency.NS(),
+			SpikeNS:         r.SpikeLatency.NS(),
+			Spikes:          r.Spikes,
+			ABOs:            r.ABOs,
+			SamplesObserved: len(r.Samples),
+		})
+	}
+	return res, nil
+}
+
+func (r Fig3Result) table() *stats.Table {
+	t := &stats.Table{Header: []string{
+		"RFMs/ABO", "baseline(ns)", "spike(ns)", "spikes", "ABOs", "samples",
+	}}
+	for _, row := range r.Rows {
+		label := fmt.Sprint(row.NMit)
+		if row.NMit == 0 {
+			label = "No ABO"
+		}
+		t.Add(label, row.BaselineNS, row.SpikeNS, row.Spikes, row.ABOs, row.SamplesObserved)
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r Fig3Result) Render() string {
+	return "Figure 3: probe latency during Alert Back-Off (NBO=256, " +
+		r.Duration.String() + " observation)\n" + r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r Fig3Result) CSV() string { return r.table().CSV() }

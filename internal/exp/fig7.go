@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/analysis"
+	"pracsim/internal/stats"
+)
+
+// Fig7Result is the security analysis sweep plus the solved TB-Window per
+// RowHammer threshold (the configuration table the performance experiments
+// consume).
+type Fig7Result struct {
+	Points  []analysis.Fig7Point
+	Windows []SolvedWindow
+}
+
+// SolvedWindow is the largest safe TB-Window for one threshold.
+type SolvedWindow struct {
+	NBO            int
+	WithResetTREFI float64
+	NoResetTREFI   float64
+}
+
+// RunFig7 reproduces Figure 7 and solves TB-Windows for the paper's NRH
+// sweep.
+func RunFig7() (Fig7Result, error) {
+	p := analysis.DefaultParams()
+	res := Fig7Result{Points: p.Fig7()}
+	for _, nbo := range []int{128, 256, 512, 1024, 2048, 4096} {
+		wr, err := p.SolveWindow(nbo, true, 0)
+		if err != nil {
+			return res, fmt.Errorf("fig7 solve reset nbo=%d: %w", nbo, err)
+		}
+		wn, err := p.SolveWindow(nbo, false, 0)
+		if err != nil {
+			return res, fmt.Errorf("fig7 solve no-reset nbo=%d: %w", nbo, err)
+		}
+		res.Windows = append(res.Windows, SolvedWindow{
+			NBO:            nbo,
+			WithResetTREFI: float64(wr) / float64(p.TREFI),
+			NoResetTREFI:   float64(wn) / float64(p.TREFI),
+		})
+	}
+	return res, nil
+}
+
+func (r Fig7Result) tables() (*stats.Table, *stats.Table) {
+	tmax := &stats.Table{Header: []string{"TB-Window(tREFI)", "TMAX(with reset)", "TMAX(no reset)"}}
+	for _, pt := range r.Points {
+		tmax.Add(pt.WindowTREFI, pt.WithReset, pt.NoReset)
+	}
+	win := &stats.Table{Header: []string{"NBO", "TB-Window(reset, tREFI)", "TB-Window(no reset, tREFI)"}}
+	for _, w := range r.Windows {
+		win.Add(w.NBO, w.WithResetTREFI, w.NoResetTREFI)
+	}
+	return tmax, win
+}
+
+// Render returns the human-readable report.
+func (r Fig7Result) Render() string {
+	tmax, win := r.tables()
+	return "Figure 7: theoretical max activations to a target row under TPRAC\n" +
+		tmax.String() +
+		"\nSolved TB-Windows per Back-Off threshold:\n" + win.String()
+}
+
+// CSV returns the TMAX sweep as CSV.
+func (r Fig7Result) CSV() string {
+	tmax, _ := r.tables()
+	return tmax.CSV()
+}

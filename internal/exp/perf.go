@@ -1,0 +1,478 @@
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/analysis"
+	"pracsim/internal/energy"
+	"pracsim/internal/sim"
+	"pracsim/internal/stats"
+	"pracsim/internal/ticks"
+	"pracsim/internal/trace"
+)
+
+// Scale controls how much work the performance experiments simulate.
+type Scale struct {
+	Warmup    int64    // warmup instructions per core
+	Measured  int64    // measured instructions per core
+	Workloads []string // nil = all 50 catalog workloads
+}
+
+// QuickScale is a minutes-not-days configuration: a representative subset
+// of workloads and short instruction budgets. Shapes are preserved;
+// absolute averages move by a few tenths of a percent versus FullScale.
+func QuickScale() Scale {
+	return Scale{
+		Warmup:   20_000,
+		Measured: 40_000,
+		Workloads: []string{
+			"433.milc", "470.lbm", "429.mcf", "nutch", // High
+			"401.bzip2", "657.xz", // Medium
+			"444.namd", "631.deepsjeng", // Low
+		},
+	}
+}
+
+// FullScale runs the whole 50-workload catalog with larger budgets.
+func FullScale() Scale {
+	return Scale{Warmup: 50_000, Measured: 150_000}
+}
+
+func (s Scale) workloads() []string {
+	if len(s.Workloads) > 0 {
+		return s.Workloads
+	}
+	var names []string
+	for _, w := range trace.Catalog() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// Variant is one mitigation configuration under test.
+type Variant struct {
+	Name       string
+	Policy     sim.PolicyKind
+	NRH        int // RowHammer threshold; NBO is set to NRH
+	PRACLevel  int // RFMs per ABO (0 = 1)
+	TREFEvery  int // targeted refresh every k tREFI (0 = off)
+	SkipOnTREF bool
+	NoReset    bool // disable per-tREFW counter reset
+}
+
+// configure builds the system configuration for a variant and workload.
+func configure(v Variant, workload string) (sim.SystemConfig, error) {
+	nrh := v.NRH
+	if nrh <= 0 {
+		nrh = 1024
+	}
+	cfg := sim.DefaultSystemConfig(nrh)
+	cfg.Workload = workload
+	cfg.Policy = v.Policy
+	if v.PRACLevel > 0 {
+		cfg.DRAM.PRAC.NMit = v.PRACLevel
+	}
+	cfg.DRAM.PRAC.ResetOnREFW = !v.NoReset
+	cfg.Ctrl.TREFEvery = v.TREFEvery
+	cfg.SkipOnTREF = v.SkipOnTREF
+
+	p := analysis.ParamsFromDRAM(cfg.DRAM)
+	// A TB-Window must leave room to actually service one RFM (tRFMab
+	// plus drain) or the RFM debt accrues faster than it retires and the
+	// channel livelocks. Solved windows below the floor are clamped: the
+	// defense then runs at its feasibility limit, which only the
+	// NRH=128-without-reset corner reaches (the paper's Section 6.6
+	// observation that disabling counter reset hurts at ultra-low
+	// thresholds, taken to its end point).
+	minWindow := cfg.DRAM.Timing.TRFMab + ticks.FromNS(250)
+	switch v.Policy {
+	case sim.PolicyTPRAC, sim.PolicyTPRACpb:
+		w, err := p.SolveWindow(nrh, !v.NoReset, 0)
+		if err != nil {
+			return cfg, fmt.Errorf("exp: variant %s: %w", v.Name, err)
+		}
+		if w < minWindow {
+			w = minWindow
+		}
+		cfg.TBWindow = w
+	case sim.PolicyACB:
+		w, err := p.SolveWindow(nrh, !v.NoReset, 0)
+		if err != nil {
+			return cfg, fmt.Errorf("exp: variant %s: %w", v.Name, err)
+		}
+		// The same worst-case mitigation rate, but activity-triggered:
+		// one RFM per BAT activations of a bank.
+		bat := p.ActsPerWindow(w)
+		if bat < 2 {
+			bat = 2
+		}
+		cfg.BAT = bat
+	}
+	return cfg, nil
+}
+
+// PerfRun is one measured simulation.
+type PerfRun struct {
+	Workload string
+	Variant  string
+	Result   sim.RunResult
+}
+
+// runner caches per-workload baselines so each variant comparison reuses
+// them.
+type runner struct {
+	scale     Scale
+	baselines map[string]sim.RunResult
+}
+
+func newRunner(scale Scale) *runner {
+	return &runner{scale: scale, baselines: make(map[string]sim.RunResult)}
+}
+
+func (r *runner) baseline(workload string) (sim.RunResult, error) {
+	if res, ok := r.baselines[workload]; ok {
+		return res, nil
+	}
+	cfg, err := configure(Variant{Name: "Baseline", Policy: sim.PolicyNone}, workload)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	sys, err := sim.NewSystem(cfg)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
+	if err != nil {
+		return sim.RunResult{}, fmt.Errorf("exp: baseline %s: %w", workload, err)
+	}
+	r.baselines[workload] = res
+	return res, nil
+}
+
+func (r *runner) run(v Variant, workload string) (sim.RunResult, error) {
+	cfg, err := configure(v, workload)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	sys, err := sim.NewSystem(cfg)
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
+	if err != nil {
+		return sim.RunResult{}, fmt.Errorf("exp: %s on %s: %w", v.Name, workload, err)
+	}
+	return res, nil
+}
+
+// normalized runs a variant over a workload and returns performance
+// normalized to the no-ABO baseline (the paper's metric: weighted speedup
+// relative to baseline, which for homogeneous mixes reduces to the IPC-sum
+// ratio).
+func (r *runner) normalized(v Variant, workload string) (float64, sim.RunResult, error) {
+	base, err := r.baseline(workload)
+	if err != nil {
+		return 0, sim.RunResult{}, err
+	}
+	res, err := r.run(v, workload)
+	if err != nil {
+		return 0, sim.RunResult{}, err
+	}
+	if base.IPCSum <= 0 {
+		return 0, res, fmt.Errorf("exp: zero baseline IPC for %s", workload)
+	}
+	return res.IPCSum / base.IPCSum, res, nil
+}
+
+// Fig10Result is the main performance comparison at NRH 1024.
+type Fig10Result struct {
+	Workloads []string
+	Classes   []trace.Class
+	Variants  []string
+	// Normalized[i][j] is workload i under variant j.
+	Normalized  [][]float64
+	GeomeanAll  []float64
+	GeomeanHigh []float64
+}
+
+// Fig10Variants returns the paper's three compared configurations.
+func Fig10Variants(nrh int) []Variant {
+	return []Variant{
+		{Name: "ABO-Only", Policy: sim.PolicyABOOnly, NRH: nrh},
+		{Name: "ABO+ACB-RFM", Policy: sim.PolicyACB, NRH: nrh},
+		{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh},
+	}
+}
+
+// RunFig10 reproduces Figure 10: normalized performance of ABO-Only,
+// ABO+ACB-RFM and TPRAC at NRH=1024 across the workload set.
+func RunFig10(scale Scale) (Fig10Result, error) {
+	r := newRunner(scale)
+	variants := Fig10Variants(1024)
+	res := Fig10Result{}
+	for _, v := range variants {
+		res.Variants = append(res.Variants, v.Name)
+	}
+	perVariantAll := make([][]float64, len(variants))
+	perVariantHigh := make([][]float64, len(variants))
+	for _, name := range scale.workloads() {
+		w, err := trace.Lookup(name)
+		if err != nil {
+			return res, err
+		}
+		res.Workloads = append(res.Workloads, name)
+		res.Classes = append(res.Classes, w.Class)
+		row := make([]float64, len(variants))
+		for j, v := range variants {
+			n, _, err := r.normalized(v, name)
+			if err != nil {
+				return res, err
+			}
+			row[j] = n
+			perVariantAll[j] = append(perVariantAll[j], n)
+			if w.Class == trace.ClassHigh {
+				perVariantHigh[j] = append(perVariantHigh[j], n)
+			}
+		}
+		res.Normalized = append(res.Normalized, row)
+	}
+	for j := range variants {
+		res.GeomeanAll = append(res.GeomeanAll, stats.Geomean(perVariantAll[j]))
+		res.GeomeanHigh = append(res.GeomeanHigh, stats.Geomean(perVariantHigh[j]))
+	}
+	return res, nil
+}
+
+func (r Fig10Result) table() *stats.Table {
+	header := append([]string{"workload", "class"}, r.Variants...)
+	t := &stats.Table{Header: header}
+	for i, w := range r.Workloads {
+		cells := []any{w, string(r.Classes[i])}
+		for _, n := range r.Normalized[i] {
+			cells = append(cells, n)
+		}
+		t.Add(cells...)
+	}
+	high := []any{"GEOMEAN(High)", ""}
+	all := []any{"GEOMEAN(All)", ""}
+	for j := range r.Variants {
+		high = append(high, r.GeomeanHigh[j])
+		all = append(all, r.GeomeanAll[j])
+	}
+	t.Add(high...)
+	t.Add(all...)
+	return t
+}
+
+// Render returns the human-readable report.
+func (r Fig10Result) Render() string {
+	return "Figure 10: normalized performance at NRH=1024 (1.0 = no-ABO baseline)\n" +
+		r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r Fig10Result) CSV() string { return r.table().CSV() }
+
+// SweepResult is the generic outcome of Figures 11-14: geometric-mean
+// normalized performance per (x value, variant).
+type SweepResult struct {
+	Title    string
+	XLabel   string
+	XValues  []string
+	Variants []string
+	// Geomean[i][j] is x value i under variant j.
+	Geomean [][]float64
+}
+
+func runSweep(title, xlabel string, scale Scale, xs []string, variants func(x int) []Variant, xvals []int) (SweepResult, error) {
+	r := newRunner(scale)
+	res := SweepResult{Title: title, XLabel: xlabel, XValues: xs}
+	for i, x := range xvals {
+		vs := variants(x)
+		if i == 0 {
+			for _, v := range vs {
+				res.Variants = append(res.Variants, v.Name)
+			}
+		}
+		row := make([]float64, len(vs))
+		for j, v := range vs {
+			var ns []float64
+			for _, name := range scale.workloads() {
+				n, _, err := r.normalized(v, name)
+				if err != nil {
+					return res, err
+				}
+				ns = append(ns, n)
+			}
+			row[j] = stats.Geomean(ns)
+		}
+		res.Geomean = append(res.Geomean, row)
+	}
+	return res, nil
+}
+
+func (r SweepResult) table() *stats.Table {
+	t := &stats.Table{Header: append([]string{r.XLabel}, r.Variants...)}
+	for i, x := range r.XValues {
+		cells := []any{x}
+		for _, g := range r.Geomean[i] {
+			cells = append(cells, g)
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r SweepResult) Render() string { return r.Title + "\n" + r.table().String() }
+
+// CSV returns the machine-readable report.
+func (r SweepResult) CSV() string { return r.table().CSV() }
+
+// RunFig11 reproduces Figure 11: sensitivity to the PRAC level at NRH=1024.
+func RunFig11(scale Scale) (SweepResult, error) {
+	return runSweep(
+		"Figure 11: normalized performance across PRAC levels (NRH=1024)",
+		"PRAC-level", scale,
+		[]string{"PRAC-1", "PRAC-2", "PRAC-4"},
+		func(level int) []Variant {
+			vs := Fig10Variants(1024)
+			for i := range vs {
+				vs[i].PRACLevel = level
+			}
+			return vs
+		},
+		[]int{1, 2, 4},
+	)
+}
+
+// RunFig12 reproduces Figure 12: sensitivity to targeted-refresh rate.
+func RunFig12(scale Scale) (SweepResult, error) {
+	return runSweep(
+		"Figure 12: TPRAC with targeted refreshes (NRH=1024)",
+		"TREF-per-tREFI", scale,
+		[]string{"none", "1/4", "1/3", "1/2", "1/1"},
+		func(every int) []Variant {
+			v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: 1024}
+			if every > 0 {
+				v.Name = fmt.Sprintf("TPRAC+TREF/%d", every)
+				v.TREFEvery = every
+				v.SkipOnTREF = true
+			}
+			return []Variant{v}
+		},
+		[]int{0, 4, 3, 2, 1},
+	)
+}
+
+// RunFig13 reproduces Figure 13: sensitivity to the RowHammer threshold.
+func RunFig13(scale Scale) (SweepResult, error) {
+	return runSweep(
+		"Figure 13: normalized performance across RowHammer thresholds",
+		"NRH", scale,
+		[]string{"128", "256", "512", "1024", "2048", "4096"},
+		func(nrh int) []Variant {
+			vs := Fig10Variants(nrh)
+			vs = append(vs,
+				Variant{Name: "TPRAC+TREF/4", Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 4, SkipOnTREF: true},
+				Variant{Name: "TPRAC+TREF/1", Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 1, SkipOnTREF: true},
+			)
+			return vs
+		},
+		[]int{128, 256, 512, 1024, 2048, 4096},
+	)
+}
+
+// RunFig14 reproduces Figure 14: activation-counter reset sensitivity.
+func RunFig14(scale Scale) (SweepResult, error) {
+	return runSweep(
+		"Figure 14: TPRAC with and without per-tREFW counter reset",
+		"NRH", scale,
+		[]string{"128", "256", "512", "1024", "2048", "4096"},
+		func(nrh int) []Variant {
+			return []Variant{
+				{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh},
+				{Name: "TPRAC-NoReset", Policy: sim.PolicyTPRAC, NRH: nrh, NoReset: true},
+				{Name: "TPRAC+TREF/1", Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 1, SkipOnTREF: true},
+				{Name: "TPRAC-NoReset+TREF/1", Policy: sim.PolicyTPRAC, NRH: nrh, NoReset: true, TREFEvery: 1, SkipOnTREF: true},
+			}
+		},
+		[]int{128, 256, 512, 1024, 2048, 4096},
+	)
+}
+
+// Table5Row is one row of the energy-overhead table.
+type Table5Row struct {
+	NRH              int
+	MitigationPct    float64
+	NonMitigationPct float64
+	TotalPct         float64
+}
+
+// Table5Result is the paper's Table 5.
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// RunTable5 reproduces Table 5: TPRAC's energy overhead versus the no-ABO
+// baseline, split into mitigation (RFM) and non-mitigation (execution time)
+// energy, across RowHammer thresholds.
+func RunTable5(scale Scale) (Table5Result, error) {
+	r := newRunner(scale)
+	params := energy.DefaultParams()
+	var res Table5Result
+	for _, nrh := range []int{128, 256, 512, 1024, 2048, 4096} {
+		v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}
+		var mit, non, tot []float64
+		for _, name := range scale.workloads() {
+			base, err := r.baseline(name)
+			if err != nil {
+				return res, err
+			}
+			run, err := r.run(v, name)
+			if err != nil {
+				return res, err
+			}
+			cfg, err := configure(v, name)
+			if err != nil {
+				return res, err
+			}
+			o, err := energy.CompareRuns(params, base.DRAM, run.DRAM,
+				cfg.DRAM.Org.Ranks, base.MeasuredTime, run.MeasuredTime)
+			if err != nil {
+				return res, err
+			}
+			mit = append(mit, o.MitigationPct)
+			non = append(non, o.NonMitigationPct)
+			tot = append(tot, o.TotalPct)
+		}
+		res.Rows = append(res.Rows, Table5Row{
+			NRH:              nrh,
+			MitigationPct:    stats.Mean(mit),
+			NonMitigationPct: stats.Mean(non),
+			TotalPct:         stats.Mean(tot),
+		})
+	}
+	return res, nil
+}
+
+func (r Table5Result) table() *stats.Table {
+	t := &stats.Table{Header: []string{"NRH", "Mitigation(RFM)%", "Non-Mitigation(ExecTime)%", "Total%"}}
+	for _, row := range r.Rows {
+		t.Add(row.NRH, row.MitigationPct, row.NonMitigationPct, row.TotalPct)
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r Table5Result) Render() string {
+	return "Table 5: TPRAC energy overhead vs no-ABO baseline\n" + r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r Table5Result) CSV() string { return r.table().CSV() }
+
+// TBWindowFor exposes the solved TB-Window for a threshold, for reports.
+func TBWindowFor(nrh int, reset bool) (ticks.T, error) {
+	return analysis.DefaultParams().SolveWindow(nrh, reset, 0)
+}

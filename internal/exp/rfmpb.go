@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/sim"
+	"pracsim/internal/stats"
+)
+
+// RFMpbResult compares channel-wide TB-RFM (RFMab) against the Section 7.2
+// per-bank extension (RFMpb) at equal per-bank mitigation rates.
+type RFMpbResult struct {
+	NRHs   []int
+	RFMab  []float64 // geomean normalized performance
+	RFMpb  []float64
+	Alerts []int64 // alerts under RFMpb (must stay zero)
+}
+
+// RunRFMpb evaluates the future-work extension the paper sketches in
+// Section 7.2: issuing TPRAC's Timing-Based RFMs as per-bank RFMpb commands
+// that block one bank for tRFMpb instead of stalling the whole channel for
+// tRFMab. Each bank still receives one activity-independent mitigation per
+// TB-Window, preserving the Section 4.2 security argument per bank.
+func RunRFMpb(scale Scale) (RFMpbResult, error) {
+	r := newRunner(scale)
+	res := RFMpbResult{}
+	for _, nrh := range []int{256, 512, 1024} {
+		res.NRHs = append(res.NRHs, nrh)
+		var ab, pb []float64
+		var alerts int64
+		for _, name := range scale.workloads() {
+			nAB, _, err := r.normalized(Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}, name)
+			if err != nil {
+				return res, fmt.Errorf("rfmpb ab nrh=%d: %w", nrh, err)
+			}
+			nPB, run, err := r.normalized(Variant{Name: "TPRAC-pb", Policy: sim.PolicyTPRACpb, NRH: nrh}, name)
+			if err != nil {
+				return res, fmt.Errorf("rfmpb pb nrh=%d: %w", nrh, err)
+			}
+			ab = append(ab, nAB)
+			pb = append(pb, nPB)
+			alerts += run.DRAM.AlertsAsserted
+		}
+		res.RFMab = append(res.RFMab, stats.Geomean(ab))
+		res.RFMpb = append(res.RFMpb, stats.Geomean(pb))
+		res.Alerts = append(res.Alerts, alerts)
+	}
+	return res, nil
+}
+
+func (r RFMpbResult) table() *stats.Table {
+	t := &stats.Table{Header: []string{"NRH", "TPRAC(RFMab)", "TPRAC-pb(RFMpb)", "alerts_under_pb"}}
+	for i, nrh := range r.NRHs {
+		t.Add(nrh, r.RFMab[i], r.RFMpb[i], r.Alerts[i])
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r RFMpbResult) Render() string {
+	return "Section 7.2 extension: per-bank Timing-Based RFMs (normalized performance)\n" +
+		r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r RFMpbResult) CSV() string { return r.table().CSV() }

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"pracsim/internal/attack"
+	"pracsim/internal/stats"
+)
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row struct {
+	Type        string
+	NBO         int
+	PeriodUS    float64
+	BitrateKbps float64
+	ErrorRate   float64
+	Symbols     int
+}
+
+// Table2Result holds the covert-channel characterization.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 reproduces Table 2: transmission period and bitrate of the
+// activity-based and activation-count-based covert channels for NBO in
+// {256, 512, 1024}, over the given number of symbols per configuration.
+func RunTable2(symbols int) (Table2Result, error) {
+	if symbols <= 0 {
+		symbols = 16
+	}
+	var res Table2Result
+	for _, nbo := range []int{256, 512, 1024} {
+		a, err := attack.RunActivityChannel(attack.ActivityConfig{
+			NBO:     nbo,
+			NumBits: symbols,
+			Seed:    int64(nbo),
+		})
+		if err != nil {
+			return res, fmt.Errorf("table2 activity nbo=%d: %w", nbo, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Type:        "Activity-Based",
+			NBO:         nbo,
+			PeriodUS:    a.Period.US(),
+			BitrateKbps: a.BitrateKbps,
+			ErrorRate:   a.ErrorRate,
+			Symbols:     a.Symbols,
+		})
+	}
+	for _, nbo := range []int{256, 512, 1024} {
+		c, err := attack.RunCountChannel(attack.CountConfig{
+			NBO:     nbo,
+			NumVals: symbols,
+			Seed:    int64(nbo),
+		})
+		if err != nil {
+			return res, fmt.Errorf("table2 count nbo=%d: %w", nbo, err)
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Type:        "Activation-Count-Based",
+			NBO:         nbo,
+			PeriodUS:    c.Period.US(),
+			BitrateKbps: c.BitrateKbps,
+			ErrorRate:   c.ErrorRate,
+			Symbols:     c.Symbols,
+		})
+	}
+	return res, nil
+}
+
+func (r Table2Result) table() *stats.Table {
+	t := &stats.Table{Header: []string{
+		"Type", "NBO", "Period(us)", "Bitrate(Kbps)", "ErrorRate", "Symbols",
+	}}
+	for _, row := range r.Rows {
+		t.Add(row.Type, row.NBO, row.PeriodUS, row.BitrateKbps, row.ErrorRate, row.Symbols)
+	}
+	return t
+}
+
+// Render returns the human-readable report.
+func (r Table2Result) Render() string {
+	return "Table 2: covert channel transmission period and bitrate\n" + r.table().String()
+}
+
+// CSV returns the machine-readable report.
+func (r Table2Result) CSV() string { return r.table().CSV() }

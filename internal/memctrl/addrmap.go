@@ -1,0 +1,163 @@
+// Package memctrl implements the memory controller: address mapping,
+// FR-FCFS command scheduling with an open-page policy, read/write queues,
+// refresh management, Refresh Management (RFM) issuing and the Alert
+// Back-Off servicing mandated by the PRAC specification.
+package memctrl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pracsim/internal/dram"
+)
+
+// Loc is a decoded DRAM location.
+type Loc struct {
+	Bank int // flat bank index within the channel
+	Row  int
+	Col  int // cache-line-sized column
+}
+
+// AddressMapper translates physical cache-line addresses to DRAM locations.
+// Decode and Encode must be exact inverses over the channel capacity.
+type AddressMapper interface {
+	Name() string
+	Decode(addr uint64) Loc
+	Encode(loc Loc) uint64
+	// Lines reports the number of cache lines the mapping covers.
+	Lines() uint64
+}
+
+// mapGeom holds the shared bit-slicing geometry for the mappers.
+type mapGeom struct {
+	org      dram.Org
+	colBits  uint
+	bankBits uint
+	rowBits  uint
+}
+
+func newGeom(org dram.Org) (mapGeom, error) {
+	if err := org.Validate(); err != nil {
+		return mapGeom{}, err
+	}
+	g := mapGeom{org: org}
+	for _, d := range []struct {
+		n    int
+		bits *uint
+		name string
+	}{
+		{org.Columns, &g.colBits, "columns"},
+		{org.Banks(), &g.bankBits, "banks"},
+		{org.Rows, &g.rowBits, "rows"},
+	} {
+		if d.n&(d.n-1) != 0 {
+			return mapGeom{}, fmt.Errorf("memctrl: %s (%d) must be a power of two", d.name, d.n)
+		}
+		*d.bits = uint(bits.TrailingZeros64(uint64(d.n)))
+	}
+	return g, nil
+}
+
+func (g mapGeom) lines() uint64 { return 1 << (g.colBits + g.bankBits + g.rowBits) }
+
+// linearMapper is the simple Row:Bank:Column layout. Sequential lines walk
+// a row before moving to the next bank, giving maximal row-buffer locality
+// and no bank-level parallelism. Mostly useful as a baseline and for
+// attack traces that want full control over bank/row placement.
+type linearMapper struct{ g mapGeom }
+
+// NewLinearMapper builds the Row:Bank:Column mapper.
+func NewLinearMapper(org dram.Org) (AddressMapper, error) {
+	g, err := newGeom(org)
+	if err != nil {
+		return nil, err
+	}
+	return &linearMapper{g}, nil
+}
+
+func (m *linearMapper) Name() string  { return "linear" }
+func (m *linearMapper) Lines() uint64 { return m.g.lines() }
+
+func (m *linearMapper) Decode(addr uint64) Loc {
+	g := m.g
+	return Loc{
+		Col:  int(addr & (1<<g.colBits - 1)),
+		Bank: int((addr >> g.colBits) & (1<<g.bankBits - 1)),
+		Row:  int((addr >> (g.colBits + g.bankBits)) & (1<<g.rowBits - 1)),
+	}
+}
+
+func (m *linearMapper) Encode(loc Loc) uint64 {
+	g := m.g
+	return uint64(loc.Col) |
+		uint64(loc.Bank)<<g.colBits |
+		uint64(loc.Row)<<(g.colBits+g.bankBits)
+}
+
+// mopMapper is Minimalist Open-Page (Kaseridis et al., MICRO'11), the
+// paper's Table 3 policy: small groups of sequential cache lines stay in
+// one row (preserving limited spatial locality), then the bank index
+// advances, spreading a page across banks for bank-level parallelism.
+// The bank index is additionally XORed with low row bits to break
+// pathological bank conflicts.
+type mopMapper struct {
+	g        mapGeom
+	mopBits  uint // log2 of consecutive lines per bank visit
+	xorBanks bool
+}
+
+// NewMOPMapper builds a Minimalist Open-Page mapper with groupLines
+// consecutive cache lines per bank visit (a power of two, e.g. 4).
+func NewMOPMapper(org dram.Org, groupLines int, xorBanks bool) (AddressMapper, error) {
+	g, err := newGeom(org)
+	if err != nil {
+		return nil, err
+	}
+	if groupLines <= 0 || groupLines&(groupLines-1) != 0 || groupLines > org.Columns {
+		return nil, fmt.Errorf("memctrl: MOP group of %d lines must be a power of two <= columns (%d)", groupLines, org.Columns)
+	}
+	return &mopMapper{
+		g:        g,
+		mopBits:  uint(bits.TrailingZeros64(uint64(groupLines))),
+		xorBanks: xorBanks,
+	}, nil
+}
+
+func (m *mopMapper) Name() string  { return "mop" }
+func (m *mopMapper) Lines() uint64 { return m.g.lines() }
+
+// Address layout, low to high: [mop group offset][bank][column rest][row].
+func (m *mopMapper) Decode(addr uint64) Loc {
+	g := m.g
+	lowCol := addr & (1<<m.mopBits - 1)
+	addr >>= m.mopBits
+	bank := addr & (1<<g.bankBits - 1)
+	addr >>= g.bankBits
+	highCol := addr & (1<<(g.colBits-m.mopBits) - 1)
+	addr >>= g.colBits - m.mopBits
+	row := addr & (1<<g.rowBits - 1)
+	if m.xorBanks {
+		bank ^= row & (1<<g.bankBits - 1)
+	}
+	return Loc{
+		Bank: int(bank),
+		Row:  int(row),
+		Col:  int(highCol<<m.mopBits | lowCol),
+	}
+}
+
+func (m *mopMapper) Encode(loc Loc) uint64 {
+	g := m.g
+	bank := uint64(loc.Bank)
+	row := uint64(loc.Row)
+	if m.xorBanks {
+		bank ^= row & (1<<g.bankBits - 1)
+	}
+	lowCol := uint64(loc.Col) & (1<<m.mopBits - 1)
+	highCol := uint64(loc.Col) >> m.mopBits
+	addr := row
+	addr = addr<<(g.colBits-m.mopBits) | highCol
+	addr = addr<<g.bankBits | bank
+	addr = addr<<m.mopBits | lowCol
+	return addr
+}

@@ -1,0 +1,165 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pracsim/internal/dram"
+)
+
+func testOrg() dram.Org {
+	o := dram.DDR5Org32Gb()
+	o.Rows = 1024 // keep address space manageable for exhaustive-ish checks
+	return o
+}
+
+func mappers(t *testing.T) []AddressMapper {
+	t.Helper()
+	org := testOrg()
+	lin, err := NewLinearMapper(org)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mop, err := NewMOPMapper(org, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mopXOR, err := NewMOPMapper(org, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []AddressMapper{lin, mop, mopXOR}
+}
+
+// Decode and Encode must be exact inverses over the whole line space.
+func TestMapperRoundTripProperty(t *testing.T) {
+	for _, m := range mappers(t) {
+		m := m
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			addr := uint64(rng.Int63()) % m.Lines()
+			loc := m.Decode(addr)
+			if m.Encode(loc) != addr {
+				return false
+			}
+			// Decoded fields must be in range.
+			org := testOrg()
+			return loc.Bank >= 0 && loc.Bank < org.Banks() &&
+				loc.Row >= 0 && loc.Row < org.Rows &&
+				loc.Col >= 0 && loc.Col < org.Columns
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// Distinct addresses must decode to distinct locations (injectivity).
+func TestMapperInjectiveProperty(t *testing.T) {
+	for _, m := range mappers(t) {
+		m := m
+		prop := func(a, b uint32) bool {
+			x := uint64(a) % m.Lines()
+			y := uint64(b) % m.Lines()
+			if x == y {
+				return true
+			}
+			return m.Decode(x) != m.Decode(y)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestLinearMapperLayout(t *testing.T) {
+	m, err := NewLinearMapper(testOrg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential lines fill a row before changing banks.
+	l0 := m.Decode(0)
+	l1 := m.Decode(1)
+	if l0.Bank != l1.Bank || l0.Row != l1.Row || l1.Col != l0.Col+1 {
+		t.Errorf("lines 0,1 = %+v,%+v; want same row, adjacent columns", l0, l1)
+	}
+	cols := uint64(testOrg().Columns)
+	lNext := m.Decode(cols)
+	if lNext.Bank != l0.Bank+1 || lNext.Col != 0 {
+		t.Errorf("line %d = %+v; want next bank, column 0", cols, lNext)
+	}
+}
+
+func TestMOPMapperSpreadsGroupsAcrossBanks(t *testing.T) {
+	m, err := NewMOPMapper(testOrg(), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 4 lines share a bank and row; line 4 moves to the next bank.
+	base := m.Decode(0)
+	for i := uint64(1); i < 4; i++ {
+		l := m.Decode(i)
+		if l.Bank != base.Bank || l.Row != base.Row {
+			t.Fatalf("line %d = %+v; want same bank/row as line 0 (%+v)", i, l, base)
+		}
+	}
+	l4 := m.Decode(4)
+	if l4.Bank == base.Bank {
+		t.Errorf("line 4 stayed in bank %d; MOP must advance the bank", base.Bank)
+	}
+	if l4.Row != base.Row {
+		t.Errorf("line 4 row = %d, want %d (same row index in next bank)", l4.Row, base.Row)
+	}
+}
+
+// The paper's activation-count channel requires that one OS page maps into
+// the same DRAM row index across multiple banks, letting two processes
+// share a physical row. MOP with 4-line groups has exactly this property.
+func TestMOPMapperSharesRowAcrossPage(t *testing.T) {
+	m, err := NewMOPMapper(testOrg(), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageLines := uint64(4096 / 64)
+	rows := map[int]bool{}
+	banks := map[int]bool{}
+	for i := uint64(0); i < pageLines; i++ {
+		l := m.Decode(i)
+		rows[l.Row] = true
+		banks[l.Bank] = true
+	}
+	if len(rows) != 1 {
+		t.Errorf("one page spans %d row indices, want 1", len(rows))
+	}
+	if len(banks) != int(pageLines)/4 {
+		t.Errorf("one page spans %d banks, want %d", len(banks), pageLines/4)
+	}
+}
+
+func TestMapperRejectsBadGeometry(t *testing.T) {
+	org := testOrg()
+	org.Rows = 1000 // not a power of two
+	if _, err := NewLinearMapper(org); err == nil {
+		t.Error("non-power-of-two rows accepted")
+	}
+	if _, err := NewMOPMapper(testOrg(), 3, false); err == nil {
+		t.Error("non-power-of-two MOP group accepted")
+	}
+	if _, err := NewMOPMapper(testOrg(), 0, false); err == nil {
+		t.Error("zero MOP group accepted")
+	}
+	if _, err := NewMOPMapper(testOrg(), 512, false); err == nil {
+		t.Error("MOP group larger than a row accepted")
+	}
+}
+
+func TestMapperLinesMatchesCapacity(t *testing.T) {
+	org := testOrg()
+	for _, m := range mappers(t) {
+		want := uint64(org.Banks()) * uint64(org.Rows) * uint64(org.Columns)
+		if m.Lines() != want {
+			t.Errorf("%s: Lines() = %d, want %d", m.Name(), m.Lines(), want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mitigation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pracsim/internal/ticks"
+)
+
+// Obfuscation is the paper's Section 7.1 alternative defense: instead of
+// eliminating ABO-RFMs, the memory controller injects decoy RFMs at random
+// so an observer cannot tell a mitigation-induced latency spike from noise.
+// It does not remove the leak — statistical attackers can still integrate
+// over long windows — but it trades a tunable amount of bandwidth for
+// reduced attacker precision, which the paper suggests for ultra-low
+// thresholds where TPRAC's fixed schedule is expensive.
+type Obfuscation struct {
+	probability float64 // chance of one decoy RFM per evaluation interval
+	interval    ticks.T
+	rng         *rand.Rand
+	next        ticks.T
+	injected    int64
+}
+
+// NewObfuscation returns a policy injecting a decoy RFM with the given
+// probability once per interval (typically tREFI), using a deterministic
+// seed so simulations are reproducible.
+func NewObfuscation(probability float64, interval ticks.T, seed int64) (*Obfuscation, error) {
+	if probability < 0 || probability > 1 {
+		return nil, fmt.Errorf("mitigation: obfuscation probability %v outside [0,1]", probability)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("mitigation: obfuscation interval must be positive, got %v", interval)
+	}
+	return &Obfuscation{
+		probability: probability,
+		interval:    interval,
+		rng:         rand.New(rand.NewSource(seed)),
+		next:        interval,
+	}, nil
+}
+
+// Name implements Policy.
+func (o *Obfuscation) Name() string { return "Obfuscation" }
+
+// Injected reports how many decoy RFMs have been scheduled.
+func (o *Obfuscation) Injected() int64 { return o.injected }
+
+// Due implements Policy: at each interval boundary, flip the biased coin.
+func (o *Obfuscation) Due(now ticks.T) int {
+	n := 0
+	for now >= o.next {
+		if o.rng.Float64() < o.probability {
+			n++
+			o.injected++
+		}
+		o.next += o.interval
+	}
+	return n
+}
+
+// OnActivate implements Policy; injection is activity-independent.
+func (o *Obfuscation) OnActivate(int, ticks.T) {}
+
+// OnTREF implements Policy.
+func (o *Obfuscation) OnTREF(ticks.T) {}

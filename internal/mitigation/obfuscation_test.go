@@ -1,0 +1,96 @@
+package mitigation
+
+import (
+	"testing"
+
+	"pracsim/internal/ticks"
+)
+
+func TestObfuscationInjectionRate(t *testing.T) {
+	interval := ticks.FromUS(1)
+	o, err := NewObfuscation(0.5, interval, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	intervals := 4000
+	for i := 1; i <= intervals; i++ {
+		n += o.Due(ticks.T(i) * interval)
+	}
+	rate := float64(n) / float64(intervals)
+	if rate < 0.45 || rate > 0.55 {
+		t.Fatalf("injection rate = %.3f, want about 0.5", rate)
+	}
+	if o.Injected() != int64(n) {
+		t.Fatalf("Injected() = %d, want %d", o.Injected(), n)
+	}
+}
+
+func TestObfuscationDeterministic(t *testing.T) {
+	mk := func() []int {
+		o, err := NewObfuscation(0.3, ticks.FromUS(1), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seq []int
+		for i := 1; i <= 100; i++ {
+			seq = append(seq, o.Due(ticks.FromUS(float64(i))))
+		}
+		return seq
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at interval %d", i)
+		}
+	}
+}
+
+func TestObfuscationExtremes(t *testing.T) {
+	never, err := NewObfuscation(0, ticks.FromUS(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	always, err := NewObfuscation(1, ticks.FromUS(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		at := ticks.FromUS(float64(i))
+		if never.Due(at) != 0 {
+			t.Fatal("p=0 injected an RFM")
+		}
+		if always.Due(at) != 1 {
+			t.Fatal("p=1 skipped an interval")
+		}
+	}
+}
+
+func TestObfuscationActivityIndependent(t *testing.T) {
+	o, err := NewObfuscation(0.5, ticks.FromUS(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		o.OnActivate(i%8, ticks.T(i))
+	}
+	o2, err := NewObfuscation(0.5, ticks.FromUS(1), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		at := ticks.FromUS(float64(i))
+		if o.Due(at) != o2.Due(at) {
+			t.Fatal("activations changed the injection schedule")
+		}
+	}
+}
+
+func TestObfuscationValidation(t *testing.T) {
+	if _, err := NewObfuscation(1.5, ticks.FromUS(1), 1); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewObfuscation(0.5, 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

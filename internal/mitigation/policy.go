@@ -1,0 +1,177 @@
+// Package mitigation implements the memory-controller-side RFM issuing
+// policies compared in the paper:
+//
+//   - ABO-Only: rely purely on the DRAM's Alert Back-Off protocol.
+//   - ABO+ACB-RFM: proactive Activation-Based RFMs at the JEDEC Bank
+//     Activation Threshold (BAT), the standard's Targeted RFM.
+//   - TPRAC: the paper's defense — Timing-Based RFMs issued at a fixed
+//     interval (TB-Window) independent of memory activity, optionally
+//     co-designed with Targeted Refreshes (TREF).
+//
+// A policy only decides when activity-independent or activity-dependent
+// proactive RFMs are due; the ABO protocol itself is serviced by the memory
+// controller regardless of policy, since JEDEC mandates it.
+package mitigation
+
+import (
+	"fmt"
+
+	"pracsim/internal/ticks"
+)
+
+// Policy decides when the memory controller should issue proactive RFMab
+// commands. Implementations are single-threaded, driven by the controller.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+
+	// Due reports how many proactive RFMs the controller should enqueue
+	// at time now. The controller calls it once per controller cycle and
+	// accumulates the result into its pending-RFM budget.
+	Due(now ticks.T) int
+
+	// OnActivate informs the policy of an activation to a bank.
+	OnActivate(bank int, now ticks.T)
+
+	// OnTREF informs the policy that a targeted refresh just performed a
+	// mitigation, letting TPRAC skip an upcoming TB-RFM.
+	OnTREF(now ticks.T)
+}
+
+// ABOOnly issues no proactive RFMs at all: mitigation happens only when the
+// DRAM asserts Alert. This is the paper's insecure ABO-Only baseline.
+type ABOOnly struct{}
+
+// NewABOOnly returns the ABO-Only policy.
+func NewABOOnly() *ABOOnly { return &ABOOnly{} }
+
+// Name implements Policy.
+func (*ABOOnly) Name() string { return "ABO-Only" }
+
+// Due implements Policy; ABO-Only never schedules proactive RFMs.
+func (*ABOOnly) Due(ticks.T) int { return 0 }
+
+// OnActivate implements Policy.
+func (*ABOOnly) OnActivate(int, ticks.T) {}
+
+// OnTREF implements Policy.
+func (*ABOOnly) OnTREF(ticks.T) {}
+
+// ACB issues an Activation-Based RFM whenever any bank accumulates BAT
+// activations since the last RFM, per the JEDEC Targeted RFM mechanism.
+// This is the paper's insecure ABO+ACB-RFM baseline: it avoids Alerts but
+// remains activity-dependent and therefore leaks timing.
+type ACB struct {
+	bat     int
+	perBank []int
+	due     int
+}
+
+// NewACB returns an ACB policy for a channel with the given bank count and
+// Bank Activation Threshold.
+func NewACB(banks, bat int) (*ACB, error) {
+	if banks <= 0 || bat <= 0 {
+		return nil, fmt.Errorf("mitigation: ACB needs positive banks and BAT, got %d, %d", banks, bat)
+	}
+	return &ACB{bat: bat, perBank: make([]int, banks)}, nil
+}
+
+// Name implements Policy.
+func (a *ACB) Name() string { return "ABO+ACB-RFM" }
+
+// BAT reports the configured Bank Activation Threshold.
+func (a *ACB) BAT() int { return a.bat }
+
+// OnActivate implements Policy: crossing BAT on any bank schedules one RFM
+// and rearms every bank counter, modeling the RAA-counter decrement an
+// RFMab performs across all banks.
+func (a *ACB) OnActivate(bank int, _ ticks.T) {
+	a.perBank[bank]++
+	if a.perBank[bank] >= a.bat {
+		a.due++
+		for i := range a.perBank {
+			a.perBank[i] = 0
+		}
+	}
+}
+
+// Due implements Policy.
+func (a *ACB) Due(ticks.T) int {
+	d := a.due
+	a.due = 0
+	return d
+}
+
+// OnTREF implements Policy.
+func (a *ACB) OnTREF(ticks.T) {}
+
+// TPRAC is the paper's defense: Timing-Based RFMs are issued once per
+// TB-Window, entirely independent of memory activity, so an observer
+// learns nothing from RFM timing. A single register (the RFM Interval
+// Register) holds the window; this struct is its controller-side model.
+//
+// When SkipOnTREF is enabled (Section 4.3), a targeted refresh that
+// performed a mitigation within the current window substitutes for the
+// scheduled TB-RFM, which is then skipped.
+type TPRAC struct {
+	window     ticks.T
+	skipOnTREF bool
+
+	next        ticks.T
+	trefCredits int
+	skipped     int64
+	issued      int64
+}
+
+// NewTPRAC returns a TPRAC policy issuing one TB-RFM per window.
+func NewTPRAC(window ticks.T, skipOnTREF bool) (*TPRAC, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("mitigation: TB-Window must be positive, got %v", window)
+	}
+	return &TPRAC{window: window, skipOnTREF: skipOnTREF, next: window}, nil
+}
+
+// Name implements Policy.
+func (p *TPRAC) Name() string {
+	if p.skipOnTREF {
+		return "TPRAC+TREF"
+	}
+	return "TPRAC"
+}
+
+// Window reports the configured TB-Window.
+func (p *TPRAC) Window() ticks.T { return p.window }
+
+// Issued reports how many TB-RFMs the policy has scheduled.
+func (p *TPRAC) Issued() int64 { return p.issued }
+
+// Skipped reports how many TB-RFMs were skipped thanks to TREFs.
+func (p *TPRAC) Skipped() int64 { return p.skipped }
+
+// Due implements Policy: exactly one RFM per elapsed TB-Window, regardless
+// of what the workload did, minus any windows covered by a TREF mitigation.
+func (p *TPRAC) Due(now ticks.T) int {
+	n := 0
+	for now >= p.next {
+		if p.skipOnTREF && p.trefCredits > 0 {
+			p.trefCredits--
+			p.skipped++
+		} else {
+			n++
+			p.issued++
+		}
+		p.next += p.window
+	}
+	return n
+}
+
+// OnActivate implements Policy. TB-RFM timing must never depend on
+// activity, so this is deliberately a no-op.
+func (p *TPRAC) OnActivate(int, ticks.T) {}
+
+// OnTREF implements Policy.
+func (p *TPRAC) OnTREF(ticks.T) {
+	if p.skipOnTREF {
+		p.trefCredits++
+	}
+}

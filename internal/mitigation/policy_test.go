@@ -1,0 +1,166 @@
+package mitigation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pracsim/internal/ticks"
+)
+
+func TestABOOnlyNeverSchedules(t *testing.T) {
+	p := NewABOOnly()
+	for i := 0; i < 100; i++ {
+		p.OnActivate(i%4, ticks.T(i))
+		if p.Due(ticks.T(i)) != 0 {
+			t.Fatal("ABO-Only scheduled a proactive RFM")
+		}
+	}
+	if p.Name() != "ABO-Only" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+}
+
+func TestACBTriggersAtBAT(t *testing.T) {
+	p, err := NewACB(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnActivate(2, 0)
+	p.OnActivate(2, 1)
+	if p.Due(1) != 0 {
+		t.Fatal("ACB fired below BAT")
+	}
+	p.OnActivate(2, 2)
+	if p.Due(2) != 1 {
+		t.Fatal("ACB did not fire at BAT")
+	}
+	// Counters must rearm across all banks after the RFM.
+	p.OnActivate(0, 3)
+	p.OnActivate(1, 4)
+	if p.Due(4) != 0 {
+		t.Fatal("ACB fired after rearm with spread activations")
+	}
+}
+
+func TestACBRejectsBadConfig(t *testing.T) {
+	if _, err := NewACB(0, 3); err == nil {
+		t.Error("zero banks accepted")
+	}
+	if _, err := NewACB(4, 0); err == nil {
+		t.Error("zero BAT accepted")
+	}
+}
+
+// Property: the number of RFMs ACB schedules never exceeds total
+// activations divided by BAT (each RFM consumes at least BAT activations).
+func TestACBRateBoundProperty(t *testing.T) {
+	prop := func(acts []uint8, batRaw uint8) bool {
+		bat := int(batRaw%16) + 1
+		p, err := NewACB(8, bat)
+		if err != nil {
+			return false
+		}
+		total, rfms := 0, 0
+		for i, a := range acts {
+			p.OnActivate(int(a)%8, ticks.T(i))
+			total++
+			rfms += p.Due(ticks.T(i))
+		}
+		return rfms <= total/bat
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPRACPeriodicIndependentOfActivity(t *testing.T) {
+	w := ticks.FromNS(1000)
+	p, err := NewTPRAC(w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammering must not change the schedule.
+	for i := 0; i < 500; i++ {
+		p.OnActivate(0, ticks.T(i))
+	}
+	if got := p.Due(w - 1); got != 0 {
+		t.Fatalf("Due before window = %d, want 0", got)
+	}
+	if got := p.Due(w); got != 1 {
+		t.Fatalf("Due at window = %d, want 1", got)
+	}
+	if got := p.Due(4 * w); got != 3 {
+		t.Fatalf("Due after 3 more windows = %d, want 3", got)
+	}
+	if p.Issued() != 4 {
+		t.Fatalf("Issued = %d, want 4", p.Issued())
+	}
+}
+
+func TestTPRACSkipsOnTREF(t *testing.T) {
+	w := ticks.FromNS(1000)
+	p, err := NewTPRAC(w, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnTREF(ticks.FromNS(500))
+	if got := p.Due(w); got != 0 {
+		t.Fatalf("Due = %d, want 0 (TREF credit should cover the window)", got)
+	}
+	if p.Skipped() != 1 {
+		t.Fatalf("Skipped = %d, want 1", p.Skipped())
+	}
+	if got := p.Due(2 * w); got != 1 {
+		t.Fatalf("Due next window = %d, want 1", got)
+	}
+}
+
+func TestTPRACNoSkipWhenDisabled(t *testing.T) {
+	w := ticks.FromNS(1000)
+	p, err := NewTPRAC(w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.OnTREF(ticks.FromNS(500))
+	if got := p.Due(w); got != 1 {
+		t.Fatalf("Due = %d, want 1 (skip disabled)", got)
+	}
+	if p.Name() != "TPRAC" {
+		t.Errorf("Name() = %q", p.Name())
+	}
+	p2, _ := NewTPRAC(w, true)
+	if p2.Name() != "TPRAC+TREF" {
+		t.Errorf("Name() = %q", p2.Name())
+	}
+}
+
+func TestTPRACRejectsBadWindow(t *testing.T) {
+	if _, err := NewTPRAC(0, false); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+// Property: over any horizon, TPRAC's issued+skipped count equals the
+// number of whole windows elapsed — RFM count is a pure function of time.
+func TestTPRACCountIsPureFunctionOfTimeProperty(t *testing.T) {
+	prop := func(horizonRaw uint16, activity []uint8) bool {
+		w := ticks.FromNS(100)
+		horizon := ticks.T(horizonRaw)
+		p, err := NewTPRAC(w, true)
+		if err != nil {
+			return false
+		}
+		issued := 0
+		for now := ticks.T(0); now <= horizon; now++ {
+			if len(activity) > 0 && activity[int(now)%len(activity)] > 128 {
+				p.OnActivate(int(now)%4, now)
+			}
+			issued += p.Due(now)
+		}
+		wantWindows := int(horizon / w)
+		return issued+int(p.Skipped()) == wantWindows
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

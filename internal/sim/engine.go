@@ -1,0 +1,120 @@
+// Package sim provides the discrete-time engine that drives all simulator
+// components, plus the System assembly that wires cores, caches, the memory
+// controller and DRAM into the paper's Table 3 configuration.
+package sim
+
+import (
+	"container/heap"
+
+	"pracsim/internal/ticks"
+)
+
+// Engine advances simulated time, driving periodic tickers (cores, the
+// memory controller) and one-shot scheduled events. Components are strictly
+// single-threaded: all callbacks run on the caller's goroutine in time order.
+type Engine struct {
+	now     ticks.T
+	tickers []*ticker
+	events  eventHeap
+	stopped bool
+}
+
+type ticker struct {
+	period ticks.T
+	next   ticks.T
+	fn     func(now ticks.T)
+}
+
+type event struct {
+	at  ticks.T
+	seq int64
+	fn  func(now ticks.T)
+}
+
+type eventHeap struct {
+	items []event
+	seq   int64
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+func (h *eventHeap) Less(i, j int) bool {
+	if h.items[i].at != h.items[j].at {
+		return h.items[i].at < h.items[j].at
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulated time.
+func (e *Engine) Now() ticks.T { return e.now }
+
+// AddTicker registers fn to run every period ticks, starting at time offset.
+func (e *Engine) AddTicker(period, offset ticks.T, fn func(now ticks.T)) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	e.tickers = append(e.tickers, &ticker{period: period, next: offset, fn: fn})
+}
+
+// After schedules fn to run once, delay ticks from now.
+func (e *Engine) After(delay ticks.T, fn func(now ticks.T)) {
+	e.events.seq++
+	heap.Push(&e.events, event{at: e.now + delay, seq: e.events.seq, fn: fn})
+}
+
+// At schedules fn to run once at absolute time at (which must not be in the
+// past).
+func (e *Engine) At(at ticks.T, fn func(now ticks.T)) {
+	if at < e.now {
+		panic("sim: cannot schedule event in the past")
+	}
+	e.events.seq++
+	heap.Push(&e.events, event{at: at, seq: e.events.seq, fn: fn})
+}
+
+// Stop makes the current Run call return after the present timestamp
+// finishes processing.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run advances time until the deadline (inclusive of work scheduled exactly
+// at it). Idle gaps with no tickers or events are skipped in O(1).
+func (e *Engine) Run(until ticks.T) {
+	e.stopped = false
+	for !e.stopped {
+		next := until + 1
+		for _, t := range e.tickers {
+			if t.next < next {
+				next = t.next
+			}
+		}
+		if len(e.events.items) > 0 && e.events.items[0].at < next {
+			next = e.events.items[0].at
+		}
+		if next > until {
+			e.now = until
+			return
+		}
+		e.now = next
+		for len(e.events.items) > 0 && e.events.items[0].at == next {
+			ev := heap.Pop(&e.events).(event)
+			ev.fn(next)
+		}
+		for _, t := range e.tickers {
+			if t.next == next {
+				t.next += t.period
+				t.fn(next)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pracsim/internal/ticks"
+)
+
+func TestTickerCadence(t *testing.T) {
+	e := NewEngine()
+	var times []ticks.T
+	e.AddTicker(10, 0, func(now ticks.T) { times = append(times, now) })
+	e.Run(35)
+	want := []ticks.T{0, 10, 20, 30}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticks at %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTickerOffset(t *testing.T) {
+	e := NewEngine()
+	var first ticks.T = -1
+	e.AddTicker(10, 7, func(now ticks.T) {
+		if first < 0 {
+			first = now
+		}
+	})
+	e.Run(40)
+	if first != 7 {
+		t.Fatalf("first tick at %v, want 7", first)
+	}
+}
+
+func TestAfterAndAtOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(5, func(ticks.T) { order = append(order, 1) })
+	e.At(3, func(ticks.T) { order = append(order, 0) })
+	e.After(5, func(ticks.T) { order = append(order, 2) }) // same time as first: FIFO
+	e.Run(10)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var hits []ticks.T
+	e.After(2, func(now ticks.T) {
+		hits = append(hits, now)
+		e.After(3, func(now ticks.T) { hits = append(hits, now) })
+	})
+	e.Run(10)
+	if len(hits) != 2 || hits[0] != 2 || hits[1] != 5 {
+		t.Fatalf("hits = %v, want [2 5]", hits)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.AddTicker(1, 0, func(now ticks.T) {
+		count++
+		if count == 5 {
+			e.Stop()
+		}
+	})
+	e.Run(100)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 (engine should stop)", count)
+	}
+	if e.Now() != 4 {
+		t.Fatalf("Now() = %v, want 4", e.Now())
+	}
+}
+
+func TestIdleSkipReachesDeadline(t *testing.T) {
+	e := NewEngine()
+	e.Run(1_000_000_000) // no work: must return immediately
+	if e.Now() != 1_000_000_000 {
+		t.Fatalf("Now() = %v", e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func(ticks.T) {})
+	e.Run(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At() in the past did not panic")
+		}
+	}()
+	e.At(5, func(ticks.T) {})
+}
+
+func TestZeroPeriodTickerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	e.AddTicker(0, 0, func(ticks.T) {})
+}
+
+// Property: events always fire in timestamp order regardless of insertion
+// order, and all events within the horizon fire exactly once.
+func TestEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []ticks.T
+		n := 0
+		for _, d := range delays {
+			at := ticks.T(d % 1000)
+			e.At(at, func(now ticks.T) { fired = append(fired, now) })
+			n++
+		}
+		e.Run(1000)
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"pracsim/internal/ticks"
+)
+
+func TestPolicyKindStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		PolicyABOOnly: "ABO-Only",
+		PolicyACB:     "ABO+ACB-RFM",
+		PolicyTPRAC:   "TPRAC",
+		PolicyNone:    "Baseline",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if PolicyKind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestBaselineDisablesAlerts(t *testing.T) {
+	cfg := DefaultSystemConfig(128) // ultra-low threshold
+	cfg.LLCSizeKB = 1024
+	cfg.Policy = PolicyNone
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2_000, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAM.AlertsAsserted != 0 {
+		t.Fatalf("baseline raised %d alerts at NRH=128; PolicyNone must disable the ABO path", res.DRAM.AlertsAsserted)
+	}
+}
+
+func TestTREFCoDesignReducesTBRFMs(t *testing.T) {
+	run := func(trefEvery int, skip bool) (int64, int64) {
+		cfg := DefaultSystemConfig(1024)
+		cfg.LLCSizeKB = 1024
+		cfg.Policy = PolicyTPRAC
+		cfg.TBWindow = cfg.DRAM.Timing.TREFI * 2
+		cfg.Ctrl.TREFEvery = trefEvery
+		cfg.SkipOnTREF = skip
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(2_000, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ctrl.PolicyRFMs, res.Ctrl.TREFs
+	}
+	without, _ := run(0, false)
+	with, trefs := run(1, true)
+	if trefs == 0 {
+		t.Fatal("no targeted refreshes issued")
+	}
+	if with >= without {
+		t.Fatalf("TB-RFMs with TREF co-design (%d) not below without (%d)", with, without)
+	}
+}
+
+func TestRunResultAccounting(t *testing.T) {
+	cfg := DefaultSystemConfig(1024)
+	cfg.LLCSizeKB = 1024
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1_000, 6_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeasuredTime <= 0 {
+		t.Error("no measured time")
+	}
+	if res.Policy != "ABO-Only" { // PolicyNone wraps the ABO-Only policy object
+		t.Errorf("policy name = %q", res.Policy)
+	}
+	// Row hits + misses track serviced demand reads and writes. Requests
+	// can straddle the warmup/measurement boundary in either direction,
+	// so allow slack up to the controller queue capacity.
+	served := res.Ctrl.RowHits + res.Ctrl.RowMisses
+	issued := res.Ctrl.Reads + res.Ctrl.Writes - res.Ctrl.WriteForward
+	if served > issued+128 || issued > served+128 {
+		t.Errorf("served %d column ops vs %d requests issued; beyond boundary slack", served, issued)
+	}
+	if res.MeasuredTime > ticks.FromMS(10) {
+		t.Errorf("measured time %v implausibly long for 6K instructions", res.MeasuredTime)
+	}
+}

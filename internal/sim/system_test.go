@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+
+	"pracsim/internal/ticks"
+)
+
+func testSystemConfig(nbo int) SystemConfig {
+	cfg := DefaultSystemConfig(nbo)
+	// Smaller caches keep unit-test footprints quick while preserving the
+	// hierarchy's behavior.
+	cfg.LLCSizeKB = 1024
+	return cfg
+}
+
+func TestSystemRunsBaseline(t *testing.T) {
+	cfg := testSystemConfig(1024)
+	cfg.Workload = "433.milc"
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 4*10000 {
+		t.Fatalf("retired %d instructions, want >= 40000", res.Instructions)
+	}
+	if res.IPCSum <= 0 {
+		t.Fatal("zero IPC")
+	}
+	if res.Ctrl.Reads == 0 {
+		t.Fatal("no DRAM reads for a high-RBMPKI workload")
+	}
+	if res.DRAM.AlertsAsserted != 0 {
+		t.Fatalf("baseline (no-ABO) asserted %d alerts", res.DRAM.AlertsAsserted)
+	}
+}
+
+func TestWorkloadClassesProduceDistinctRBMPKI(t *testing.T) {
+	measure := func(name string) float64 {
+		cfg := testSystemConfig(1024)
+		cfg.Workload = name
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warmup must cover the hot set, or cold misses dominate the
+		// measured window and every class looks memory-bound.
+		res, err := sys.Run(40000, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RBMPKI
+	}
+	high := measure("433.milc")
+	low := measure("444.namd")
+	if high < 5 {
+		t.Errorf("high-class RBMPKI = %.2f, want clearly memory-bound (>5)", high)
+	}
+	if low > 2 {
+		t.Errorf("low-class RBMPKI = %.2f, want cache-resident (<2)", low)
+	}
+	if low >= high {
+		t.Errorf("low RBMPKI %.2f >= high %.2f", low, high)
+	}
+}
+
+func TestTPRACIssuesTimedRFMsUnderWorkload(t *testing.T) {
+	cfg := testSystemConfig(1024)
+	cfg.Policy = PolicyTPRAC
+	cfg.TBWindow = cfg.DRAM.Timing.TREFI // 1 tREFI
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ctrl.PolicyRFMs == 0 {
+		t.Fatal("TPRAC issued no TB-RFMs")
+	}
+	wantRFMs := int64(res.MeasuredTime / cfg.TBWindow)
+	if res.Ctrl.PolicyRFMs < wantRFMs-2 || res.Ctrl.PolicyRFMs > wantRFMs+2 {
+		t.Errorf("TB-RFMs = %d over %v, want about %d", res.Ctrl.PolicyRFMs, res.MeasuredTime, wantRFMs)
+	}
+	if res.DRAM.AlertsAsserted != 0 {
+		t.Errorf("alerts under TPRAC = %d, want 0", res.DRAM.AlertsAsserted)
+	}
+}
+
+func TestTPRACSlowerThanBaseline(t *testing.T) {
+	run := func(policy PolicyKind, window ticks.T) float64 {
+		cfg := testSystemConfig(1024)
+		cfg.Policy = policy
+		cfg.TBWindow = window
+		cfg.Workload = "470.lbm"
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(2000, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.IPCSum
+	}
+	base := run(PolicyNone, 0)
+	// An aggressive TB-Window (0.25 tREFI) costs visible bandwidth.
+	tight := run(PolicyTPRAC, ticks.FromNS(975))
+	if tight >= base {
+		t.Errorf("TPRAC(0.25 tREFI) IPC %.3f not below baseline %.3f", tight, base)
+	}
+	slowdown := 1 - tight/base
+	if slowdown > 0.6 {
+		t.Errorf("slowdown = %.1f%%, implausibly large", slowdown*100)
+	}
+}
+
+func TestACBPolicyFiresUnderLoad(t *testing.T) {
+	cfg := testSystemConfig(1024)
+	cfg.Policy = PolicyACB
+	cfg.BAT = 64
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1000, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ctrl.PolicyRFMs == 0 {
+		t.Fatal("ACB never fired under a memory-bound workload")
+	}
+}
+
+func TestMixedWorkloads(t *testing.T) {
+	cfg := testSystemConfig(1024)
+	cfg.WorkloadMix = []string{"433.milc", "444.namd", "401.bzip2", "470.lbm"}
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCoreIPC) != 4 {
+		t.Fatalf("per-core IPCs = %d entries, want 4", len(res.PerCoreIPC))
+	}
+	// The cache-resident core must outpace the memory-bound ones.
+	if res.PerCoreIPC[1] <= res.PerCoreIPC[0] {
+		t.Errorf("444.namd IPC %.3f not above 433.milc %.3f", res.PerCoreIPC[1], res.PerCoreIPC[0])
+	}
+}
+
+func TestSystemConfigValidation(t *testing.T) {
+	cfg := testSystemConfig(1024)
+	cfg.Cores = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("zero cores accepted")
+	}
+	cfg = testSystemConfig(1024)
+	cfg.WorkloadMix = []string{"433.milc"} // wrong length
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("mismatched mix length accepted")
+	}
+	cfg = testSystemConfig(1024)
+	cfg.Workload = "no-such-workload"
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	cfg = testSystemConfig(1024)
+	cfg.Policy = PolicyTPRAC
+	cfg.TBWindow = 0
+	if _, err := NewSystem(cfg); err == nil {
+		t.Error("TPRAC without window accepted")
+	}
+}
+
+func TestRunRejectsZeroBudget(t *testing.T) {
+	sys, err := NewSystem(testSystemConfig(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(0, 0); err == nil {
+		t.Error("zero measured budget accepted")
+	}
+}

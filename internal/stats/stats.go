@@ -1,0 +1,215 @@
+// Package stats provides the aggregation and rendering helpers the
+// experiment harness uses: means, geometric means, weighted speedup,
+// aligned ASCII tables, CSV output and terminal heatmaps.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean (0 for empty or non-positive input).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Median returns the median (0 for an empty slice).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// WeightedSpeedup is the paper's performance metric for a multiprogrammed
+// mix: the sum over cores of IPC_shared / IPC_alone.
+func WeightedSpeedup(shared, alone []float64) (float64, error) {
+	if len(shared) != len(alone) || len(shared) == 0 {
+		return 0, fmt.Errorf("stats: need equal non-empty IPC vectors, got %d and %d", len(shared), len(alone))
+	}
+	ws := 0.0
+	for i := range shared {
+		if alone[i] <= 0 {
+			return 0, fmt.Errorf("stats: core %d alone-IPC is non-positive", i)
+		}
+		ws += shared[i] / alone[i]
+	}
+	return ws, nil
+}
+
+// Table renders rows as an aligned ASCII table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		for i := 0; i < cols; i++ {
+			b.WriteString(strings.Repeat("-", width[i]) + "  ")
+		}
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with quoting for commas.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix as ASCII shades, one row per matrix row,
+// normalized to the matrix maximum. Used for Figure 5's panels.
+func Heatmap(m [][]float64) string {
+	shades := []byte(" .:-=+*#%@")
+	maxV := 0.0
+	for _, row := range m {
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range m {
+		for _, v := range row {
+			idx := 0
+			if maxV > 0 {
+				idx = int(v / maxV * float64(len(shades)-1))
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteByte(shades[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sparkline renders a series as a one-line bar chart, normalized to max.
+func Sparkline(xs []float64) string {
+	bars := []rune("▁▂▃▄▅▆▇█")
+	maxV := 0.0
+	for _, x := range xs {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := 0
+		if maxV > 0 {
+			idx = int(x / maxV * float64(len(bars)-1))
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		b.WriteRune(bars[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanGeomeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if got := Mean(xs); got != 7.0/3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Geomean(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Geomean = %v, want 2", got)
+	}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if Mean(nil) != 0 || Geomean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty-slice aggregates should be 0")
+	}
+	if Geomean([]float64{1, -1}) != 0 {
+		t.Error("Geomean with non-positive input should be 0")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws != 1.5 {
+		t.Errorf("WeightedSpeedup = %v, want 1.5", ws)
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone-IPC accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.Add("x", 1.5)
+	tb.Add("longer-name", 0.25)
+	s := tb.String()
+	if !strings.Contains(s, "longer-name") || !strings.Contains(s, "1.500") {
+		t.Errorf("table output missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.Add(`with,comma`, `with"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"with""quote"`) {
+		t.Errorf("quote cell not escaped: %s", csv)
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	m := [][]float64{{0, 1}, {0.5, 0.25}}
+	h := Heatmap(m)
+	lines := strings.Split(strings.TrimRight(h, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("heatmap shape wrong:\n%s", h)
+	}
+	if lines[0][0] != ' ' {
+		t.Errorf("zero cell = %q, want space", lines[0][0])
+	}
+	if lines[0][1] != '@' {
+		t.Errorf("max cell = %q, want '@'", lines[0][1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1})
+	if len([]rune(s)) != 2 {
+		t.Fatalf("sparkline length = %d, want 2", len([]rune(s)))
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty string")
+	}
+}
+
+// Property: geomean lies between min and max for positive inputs.
+func TestGeomeanBoundsProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.MaxFloat64, 0.0
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			if xs[i] < lo {
+				lo = xs[i]
+			}
+			if xs[i] > hi {
+				hi = xs[i]
+			}
+		}
+		g := Geomean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

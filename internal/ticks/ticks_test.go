@@ -1,0 +1,91 @@
+package ticks
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want T
+	}{
+		{0.25, 1},
+		{1, 4},
+		{52, 208},
+		{3900, 15600},
+	}
+	for _, c := range cases {
+		if got := FromNS(c.ns); got != c.want {
+			t.Errorf("FromNS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := FromUS(1); got != 4000 {
+		t.Errorf("FromUS(1) = %d, want 4000", got)
+	}
+	if got := FromMS(32); got != 32*4_000_000 {
+		t.Errorf("FromMS(32) = %d", got)
+	}
+}
+
+func TestNonRepresentablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromNS(0.1) did not panic; silent rounding would corrupt timings")
+		}
+	}()
+	FromNS(0.1)
+}
+
+func TestBackConversions(t *testing.T) {
+	d := FromNS(350)
+	if d.NS() != 350 {
+		t.Errorf("NS() = %v", d.NS())
+	}
+	if FromUS(6.5).US() != 6.5 {
+		t.Errorf("US() round trip failed")
+	}
+	if FromMS(32).MS() != 32 {
+		t.Errorf("MS() round trip failed")
+	}
+	if FromMS(1000).Seconds() != 1 {
+		t.Errorf("Seconds() = %v", FromMS(1000).Seconds())
+	}
+}
+
+func TestStringAdaptiveUnits(t *testing.T) {
+	cases := []struct {
+		d    T
+		want string
+	}{
+		{FromNS(350), "350.00ns"},
+		{FromUS(6.24), "6.240us"},
+		{FromMS(32), "32.000ms"},
+		{-FromNS(350), "-350.00ns"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+}
+
+// Property: integral nanoseconds always convert exactly and round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(ns uint32) bool {
+		d := FromNS(float64(ns))
+		return d.NS() == float64(ns) && d == T(ns)*PerNS
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package pracsim_test
+
+import (
+	"testing"
+
+	"pracsim"
+)
+
+// The facade is the public API; these tests pin its surface and wire-up.
+
+func TestFacadeSystemRoundTrip(t *testing.T) {
+	cfg := pracsim.DefaultSystemConfig(1024)
+	cfg.Workload = "470.lbm"
+	cfg.Policy = pracsim.PolicyTPRAC
+	w, err := pracsim.DefaultAnalysisParams().SolveWindow(1024, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.TBWindow = w
+	sys, err := pracsim.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(2_000, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPCSum <= 0 {
+		t.Fatal("no progress through the facade")
+	}
+	if res.DRAM.AlertsAsserted != 0 {
+		t.Fatalf("TPRAC raised %d alerts", res.DRAM.AlertsAsserted)
+	}
+}
+
+func TestFacadeAttackAndDefense(t *testing.T) {
+	key := make([]byte, 16)
+	key[0] = 0x5c
+	res, err := pracsim.RunAESAttackVoted(pracsim.AESConfig{
+		Key:         key,
+		TargetByte:  0,
+		Plaintext:   0,
+		Encryptions: 150,
+		NBO:         256,
+		Seed:        2,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecoveredNib != 0x5 {
+		t.Fatalf("facade attack recovered %#x, want 0x5", res.RecoveredNib)
+	}
+
+	defended := pracsim.AESConfig{
+		Key:         key,
+		TargetByte:  0,
+		Plaintext:   0,
+		Encryptions: 150,
+		NBO:         256,
+		Seed:        2,
+		Defense: func() (pracsim.Policy, error) {
+			return pracsim.NewTPRACPolicy(pracsim.FromNS(975), false)
+		},
+	}
+	dres, err := pracsim.RunAESAttack(defended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.ABORFMs != 0 {
+		t.Fatalf("TPRAC run produced %d ABO RFMs", dres.ABORFMs)
+	}
+}
+
+func TestFacadeCovertChannel(t *testing.T) {
+	res, err := pracsim.RunActivityChannel(pracsim.ActivityConfig{
+		NBO:  256,
+		Bits: []bool{true, false, true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("facade covert channel errors: %d", res.Errors)
+	}
+}
+
+func TestFacadeAnalysis(t *testing.T) {
+	p := pracsim.DefaultAnalysisParams()
+	w, err := p.SolveWindow(1024, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TMax(w, true) >= 1024 {
+		t.Fatal("solved window does not protect")
+	}
+}
