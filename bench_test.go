@@ -25,6 +25,7 @@ func benchScale() pracsim.Scale {
 }
 
 func BenchmarkFig3Characterization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig3(pracsim.FromUS(150))
 		if err != nil {
@@ -36,6 +37,7 @@ func BenchmarkFig3Characterization(b *testing.B) {
 }
 
 func BenchmarkTable2CovertChannels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunTable2(4)
 		if err != nil {
@@ -47,6 +49,7 @@ func BenchmarkTable2CovertChannels(b *testing.B) {
 }
 
 func BenchmarkFig4SideChannel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig4(150)
 		if err != nil {
@@ -57,6 +60,7 @@ func BenchmarkFig4SideChannel(b *testing.B) {
 }
 
 func BenchmarkFig5KeySweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig5(150, 64)
 		if err != nil {
@@ -67,6 +71,7 @@ func BenchmarkFig5KeySweep(b *testing.B) {
 }
 
 func BenchmarkFig7Analysis(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig7()
 		if err != nil {
@@ -77,6 +82,7 @@ func BenchmarkFig7Analysis(b *testing.B) {
 }
 
 func BenchmarkFig9Defense(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig9(150, 128)
 		if err != nil {
@@ -88,6 +94,7 @@ func BenchmarkFig9Defense(b *testing.B) {
 }
 
 func BenchmarkFig10MainPerformance(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := pracsim.RunFig10(benchScale())
 		if err != nil {
@@ -99,6 +106,7 @@ func BenchmarkFig10MainPerformance(b *testing.B) {
 }
 
 func BenchmarkFig11PRACLevels(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:2]
 	for i := 0; i < b.N; i++ {
@@ -111,6 +119,7 @@ func BenchmarkFig11PRACLevels(b *testing.B) {
 }
 
 func BenchmarkFig12TargetedRefresh(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:2]
 	for i := 0; i < b.N; i++ {
@@ -124,6 +133,7 @@ func BenchmarkFig12TargetedRefresh(b *testing.B) {
 }
 
 func BenchmarkFig13ThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:2]
 	for i := 0; i < b.N; i++ {
@@ -137,6 +147,7 @@ func BenchmarkFig13ThresholdSweep(b *testing.B) {
 }
 
 func BenchmarkFig14CounterReset(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:1]
 	for i := 0; i < b.N; i++ {
@@ -150,6 +161,7 @@ func BenchmarkFig14CounterReset(b *testing.B) {
 }
 
 func BenchmarkRFMpbExtension(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:1]
 	for i := 0; i < b.N; i++ {
@@ -163,6 +175,7 @@ func BenchmarkRFMpbExtension(b *testing.B) {
 }
 
 func BenchmarkTable5Energy(b *testing.B) {
+	b.ReportAllocs()
 	scale := benchScale()
 	scale.Workloads = scale.Workloads[:1]
 	for i := 0; i < b.N; i++ {

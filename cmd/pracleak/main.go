@@ -1,9 +1,14 @@
 // Command pracleak runs the PRACLeak attack experiments (Figures 3, 4, 5
 // and 9, Table 2) and prints their reports, optionally writing CSV files.
 //
+// The sweeps (panels of Figure 3, Table 2's channel configurations, the
+// key values of Figures 5 and 9) are independent simulations and fan out
+// across all cores; -workers caps that concurrency. Results never depend
+// on the worker count.
+//
 // Usage:
 //
-//	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-csvdir DIR]
+//	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-workers N] [-csvdir DIR]
 package main
 
 import (
@@ -24,6 +29,7 @@ type report interface {
 func main() {
 	which := flag.String("exp", "all", "experiment: fig3, table2, fig4, fig5, fig9 or all")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for fast runs")
+	workers := flag.Int("workers", 0, "concurrent sweep simulations (0 = all cores, 1 = serial)")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -33,14 +39,14 @@ func main() {
 			if *quick {
 				d = ticks.FromUS(200)
 			}
-			return exp.RunFig3(d)
+			return exp.RunFig3(d, *workers)
 		},
 		"table2": func() (report, error) {
 			symbols := 64
 			if *quick {
 				symbols = 8
 			}
-			return exp.RunTable2(symbols)
+			return exp.RunTable2(symbols, *workers)
 		},
 		"fig4": func() (report, error) { return exp.RunFig4(200) },
 		"fig5": func() (report, error) {
@@ -48,14 +54,14 @@ func main() {
 			if *quick {
 				stride = 32
 			}
-			return exp.RunFig5(200, stride)
+			return exp.RunFig5(200, stride, *workers)
 		},
 		"fig9": func() (report, error) {
 			stride := 8
 			if *quick {
 				stride = 64
 			}
-			return exp.RunFig9(200, stride)
+			return exp.RunFig9(200, stride, *workers)
 		},
 	}
 	order := []string{"fig3", "table2", "fig4", "fig5", "fig9"}

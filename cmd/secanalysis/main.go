@@ -1,7 +1,7 @@
 // Command secanalysis runs the TPRAC security analysis: the Figure 7 TMAX
-// sweep, the solved TB-Window per RowHammer threshold, and (optionally) an
-// empirical Feinting attack validating a solved window against the live
-// simulator.
+// sweep, the solved TB-Window per RowHammer threshold (solved in parallel
+// across thresholds), and (optionally) an empirical Feinting attack
+// validating a solved window against the live simulator.
 //
 // Usage:
 //

@@ -2,9 +2,15 @@
 // (Figures 10-14, Table 5) and prints their reports, optionally writing
 // CSV files.
 //
+// All experiments share one session: independent (variant, workload)
+// simulations fan out across -workers goroutines, and the session's
+// single-flight run cache means -exp all never executes the same
+// configuration twice (e.g. Table 5 reuses Figure 13's TPRAC runs).
+//
 // Usage:
 //
-//	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|all [-scale quick|full] [-csvdir DIR]
+//	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|rfmpb|all
+//	         [-scale quick|full] [-workers N] [-serial] [-csvdir DIR]
 package main
 
 import (
@@ -24,6 +30,8 @@ type report interface {
 func main() {
 	which := flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, fig13, fig14, table5, rfmpb or all")
 	scaleName := flag.String("scale", "quick", "quick (8 workloads, short budgets) or full (all 50 workloads)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
+	serial := flag.Bool("serial", false, "force single-threaded execution (same results, for debugging)")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -37,15 +45,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tpracsim: unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	scale.Workers = *workers
+	scale.Serial = *serial
 
+	session := exp.NewRunner(scale)
 	runs := map[string]func() (report, error){
-		"fig10":  func() (report, error) { return exp.RunFig10(scale) },
-		"fig11":  func() (report, error) { return exp.RunFig11(scale) },
-		"fig12":  func() (report, error) { return exp.RunFig12(scale) },
-		"fig13":  func() (report, error) { return exp.RunFig13(scale) },
-		"fig14":  func() (report, error) { return exp.RunFig14(scale) },
-		"table5": func() (report, error) { return exp.RunTable5(scale) },
-		"rfmpb":  func() (report, error) { return exp.RunRFMpb(scale) },
+		"fig10":  func() (report, error) { return session.Fig10() },
+		"fig11":  func() (report, error) { return session.Fig11() },
+		"fig12":  func() (report, error) { return session.Fig12() },
+		"fig13":  func() (report, error) { return session.Fig13() },
+		"fig14":  func() (report, error) { return session.Fig14() },
+		"table5": func() (report, error) { return session.Table5() },
+		"rfmpb":  func() (report, error) { return session.RFMpb() },
 	}
 	order := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "rfmpb"}
 
@@ -60,11 +71,14 @@ func main() {
 
 	for _, name := range selected {
 		fmt.Printf("running %s at %s scale...\n", name, *scaleName)
+		before := session.CachedRuns()
 		res, err := runs[name]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tpracsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Printf("(%d new simulations; session cache holds %d)\n",
+			session.CachedRuns()-before, session.CachedRuns())
 		fmt.Println(res.Render())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, name+".csv")

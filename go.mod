@@ -1,0 +1,3 @@
+module pracsim
+
+go 1.24

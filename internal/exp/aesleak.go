@@ -94,16 +94,34 @@ type Fig5Result struct {
 }
 
 // RunFig5 reproduces Figure 5, sweeping k0 across the byte range with the
-// given stride (paper: stride 1; use larger strides for quick runs).
-func RunFig5(encryptions, stride int) (Fig5Result, error) {
+// given stride (paper: stride 1; use larger strides for quick runs). Each
+// key value is an independent attack instance; the sweep fans out across
+// workers (optional; all cores by default) with results slotted by key
+// index.
+func RunFig5(encryptions, stride int, workers ...int) (Fig5Result, error) {
 	if encryptions <= 0 {
 		encryptions = 200
 	}
 	if stride <= 0 {
 		stride = 16
 	}
-	res := Fig5Result{VictimActs: make([][]float64, aes.CacheLinesPerTable)}
+	var ks []int
 	for k0 := 0; k0 < 256; k0 += stride {
+		ks = append(ks, k0)
+	}
+	res := Fig5Result{
+		K0Values:      ks,
+		VictimActs:    make([][]float64, aes.CacheLinesPerTable),
+		AttackerCount: make([]int, len(ks)),
+		TriggerRow:    make([]int, len(ks)),
+		TrueRow:       make([]int, len(ks)),
+	}
+	for row := range res.VictimActs {
+		res.VictimActs[row] = make([]float64, len(ks))
+	}
+	hits := make([]bool, len(ks))
+	err := sweepPool(workers).Run(len(ks), func(i int) error {
+		k0 := ks[i]
 		key := make([]byte, aes.KeySize)
 		key[0] = byte(k0)
 		a, err := attack.RunAESAttackVoted(attack.AESConfig{
@@ -115,16 +133,22 @@ func RunFig5(encryptions, stride int) (Fig5Result, error) {
 			Seed:        int64(k0) + 7,
 		}, 3)
 		if err != nil {
-			return res, fmt.Errorf("fig5 k0=%d: %w", k0, err)
+			return fmt.Errorf("fig5 k0=%d: %w", k0, err)
 		}
-		res.K0Values = append(res.K0Values, k0)
 		for row := 0; row < aes.CacheLinesPerTable; row++ {
-			res.VictimActs[row] = append(res.VictimActs[row], float64(a.VictimRowActs[row]))
+			res.VictimActs[row][i] = float64(a.VictimRowActs[row])
 		}
-		res.AttackerCount = append(res.AttackerCount, a.AttackerCount)
-		res.TriggerRow = append(res.TriggerRow, a.RecoveredRow)
-		res.TrueRow = append(res.TrueRow, a.TrueRow)
-		if a.Hit {
+		res.AttackerCount[i] = a.AttackerCount
+		res.TriggerRow[i] = a.RecoveredRow
+		res.TrueRow[i] = a.TrueRow
+		hits[i] = a.Hit
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, hit := range hits {
+		if hit {
 			res.Hits++
 		}
 	}
@@ -179,20 +203,34 @@ type Fig9Result struct {
 }
 
 // RunFig9 reproduces Figure 9: without the defense the first-RFM row tracks
-// the key; with TPRAC it does not.
-func RunFig9(encryptions, stride int) (Fig9Result, error) {
+// the key; with TPRAC it does not. Like Figure 5, the key sweep fans out
+// across workers (optional; all cores by default) with per-index result
+// slots.
+func RunFig9(encryptions, stride int, workers ...int) (Fig9Result, error) {
 	if encryptions <= 0 {
 		encryptions = 200
 	}
 	if stride <= 0 {
 		stride = 32
 	}
-	var res Fig9Result
 	defense := func() (mitigation.Policy, error) {
 		// 0.25 tREFI: comfortably below the solved window for NBO=256.
 		return mitigation.NewTPRAC(ticks.FromNS(975), false)
 	}
+	var ks []int
 	for k0 := 0; k0 < 256; k0 += stride {
+		ks = append(ks, k0)
+	}
+	res := Fig9Result{
+		K0Values:   ks,
+		TrueRows:   make([]int, len(ks)),
+		Undefended: make([]int, len(ks)),
+		Defended:   make([]int, len(ks)),
+	}
+	undefHits := make([]bool, len(ks))
+	defHits := make([]bool, len(ks))
+	err := sweepPool(workers).Run(len(ks), func(i int) error {
+		k0 := ks[i]
 		key := make([]byte, aes.KeySize)
 		key[0] = byte(k0)
 		base := attack.AESConfig{
@@ -201,22 +239,29 @@ func RunFig9(encryptions, stride int) (Fig9Result, error) {
 		}
 		undef, err := attack.RunAESAttackVoted(base, 3)
 		if err != nil {
-			return res, fmt.Errorf("fig9 undefended k0=%d: %w", k0, err)
+			return fmt.Errorf("fig9 undefended k0=%d: %w", k0, err)
 		}
 		withDef := base
 		withDef.Defense = defense
 		def, err := attack.RunAESAttack(withDef)
 		if err != nil {
-			return res, fmt.Errorf("fig9 defended k0=%d: %w", k0, err)
+			return fmt.Errorf("fig9 defended k0=%d: %w", k0, err)
 		}
-		res.K0Values = append(res.K0Values, k0)
-		res.TrueRows = append(res.TrueRows, undef.TrueRow)
-		res.Undefended = append(res.Undefended, undef.RecoveredRow)
-		res.Defended = append(res.Defended, def.RecoveredRow)
-		if undef.Hit {
+		res.TrueRows[i] = undef.TrueRow
+		res.Undefended[i] = undef.RecoveredRow
+		res.Defended[i] = def.RecoveredRow
+		undefHits[i] = undef.Hit
+		defHits[i] = def.Hit
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i := range ks {
+		if undefHits[i] {
 			res.UndefHits++
 		}
-		if def.Hit {
+		if defHits[i] {
 			res.DefendedHit++
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"pracsim/internal/attack"
+	"pracsim/internal/exp/pool"
 	"pracsim/internal/stats"
 	"pracsim/internal/ticks"
 )
@@ -28,32 +29,48 @@ type Fig3Result struct {
 	Duration ticks.T
 }
 
+// sweepPool builds the pool for an attack-side sweep from an optional
+// trailing workers argument (0 or absent = all cores). Sweep results
+// never depend on the worker count.
+func sweepPool(workers []int) *pool.Pool {
+	n := 0
+	if len(workers) > 0 {
+		n = workers[0]
+	}
+	return pool.New(n)
+}
+
 // RunFig3 reproduces Figure 3: timing variation seen by a concurrent
-// observer with no ABO and with 1, 2 and 4 RFMs per ABO.
-func RunFig3(duration ticks.T) (Fig3Result, error) {
+// observer with no ABO and with 1, 2 and 4 RFMs per ABO. The four
+// panels are independent simulations and run in parallel across
+// workers (optional; all cores by default).
+func RunFig3(duration ticks.T, workers ...int) (Fig3Result, error) {
 	if duration <= 0 {
 		duration = ticks.FromUS(500)
 	}
-	res := Fig3Result{Duration: duration}
-	for _, nmit := range []int{0, 1, 2, 4} {
+	nmits := []int{0, 1, 2, 4}
+	res := Fig3Result{Duration: duration, Rows: make([]Fig3Row, len(nmits))}
+	err := sweepPool(workers).Run(len(nmits), func(i int) error {
+		nmit := nmits[i]
 		r, err := attack.RunCharacterization(attack.CharacterizeConfig{
 			NBO:      256,
 			NMit:     nmit,
 			Duration: duration,
 		})
 		if err != nil {
-			return res, fmt.Errorf("fig3 nmit=%d: %w", nmit, err)
+			return fmt.Errorf("fig3 nmit=%d: %w", nmit, err)
 		}
-		res.Rows = append(res.Rows, Fig3Row{
+		res.Rows[i] = Fig3Row{
 			NMit:            nmit,
 			BaselineNS:      r.BaselineLatency.NS(),
 			SpikeNS:         r.SpikeLatency.NS(),
 			Spikes:          r.Spikes,
 			ABOs:            r.ABOs,
 			SamplesObserved: len(r.Samples),
-		})
-	}
-	return res, nil
+		}
+		return nil
+	})
+	return res, err
 }
 
 func (r Fig3Result) table() *stats.Table {

@@ -23,26 +23,30 @@ type SolvedWindow struct {
 }
 
 // RunFig7 reproduces Figure 7 and solves TB-Windows for the paper's NRH
-// sweep.
-func RunFig7() (Fig7Result, error) {
+// sweep. The per-threshold solves are independent and run in parallel
+// across workers (optional; all cores by default).
+func RunFig7(workers ...int) (Fig7Result, error) {
 	p := analysis.DefaultParams()
-	res := Fig7Result{Points: p.Fig7()}
-	for _, nbo := range []int{128, 256, 512, 1024, 2048, 4096} {
+	nbos := []int{128, 256, 512, 1024, 2048, 4096}
+	res := Fig7Result{Points: p.Fig7(), Windows: make([]SolvedWindow, len(nbos))}
+	err := sweepPool(workers).Run(len(nbos), func(i int) error {
+		nbo := nbos[i]
 		wr, err := p.SolveWindow(nbo, true, 0)
 		if err != nil {
-			return res, fmt.Errorf("fig7 solve reset nbo=%d: %w", nbo, err)
+			return fmt.Errorf("fig7 solve reset nbo=%d: %w", nbo, err)
 		}
 		wn, err := p.SolveWindow(nbo, false, 0)
 		if err != nil {
-			return res, fmt.Errorf("fig7 solve no-reset nbo=%d: %w", nbo, err)
+			return fmt.Errorf("fig7 solve no-reset nbo=%d: %w", nbo, err)
 		}
-		res.Windows = append(res.Windows, SolvedWindow{
+		res.Windows[i] = SolvedWindow{
 			NBO:            nbo,
 			WithResetTREFI: float64(wr) / float64(p.TREFI),
 			NoResetTREFI:   float64(wn) / float64(p.TREFI),
-		})
-	}
-	return res, nil
+		}
+		return nil
+	})
+	return res, err
 }
 
 func (r Fig7Result) tables() (*stats.Table, *stats.Table) {

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// quickDeterminismScale is QuickScale's workload set at unit-test
+// instruction budgets: large enough to exercise the full 8-workload
+// grid, small enough for the race detector.
+func quickDeterminismScale() Scale {
+	s := QuickScale()
+	s.Warmup = 5_000
+	s.Measured = 10_000
+	return s
+}
+
+// TestFig10ParallelMatchesSerial is the determinism contract: the same
+// grid executed with one worker and with eight must produce bit-identical
+// result matrices, because results are assembled by grid position and
+// every simulation is self-contained.
+func TestFig10ParallelMatchesSerial(t *testing.T) {
+	serialScale := quickDeterminismScale()
+	serialScale.Workers = 1
+	parallelScale := quickDeterminismScale()
+	parallelScale.Workers = 8
+
+	serial, err := RunFig10(serialScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig10(parallelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Normalized, parallel.Normalized) {
+		t.Errorf("Normalized matrices differ:\nserial:   %v\nparallel: %v",
+			serial.Normalized, parallel.Normalized)
+	}
+	if !reflect.DeepEqual(serial.GeomeanAll, parallel.GeomeanAll) {
+		t.Errorf("GeomeanAll differs: %v vs %v", serial.GeomeanAll, parallel.GeomeanAll)
+	}
+	if !reflect.DeepEqual(serial.GeomeanHigh, parallel.GeomeanHigh) {
+		t.Errorf("GeomeanHigh differs: %v vs %v", serial.GeomeanHigh, parallel.GeomeanHigh)
+	}
+	if !reflect.DeepEqual(serial.Workloads, parallel.Workloads) ||
+		!reflect.DeepEqual(serial.Variants, parallel.Variants) ||
+		!reflect.DeepEqual(serial.Classes, parallel.Classes) {
+		t.Error("axis labels differ between serial and parallel runs")
+	}
+}
+
+// TestSweepParallelMatchesSerial covers the sweep path (Figures 11-14
+// share runSweep): Workers=8 must reproduce the Serial matrix exactly.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serialScale := Scale{
+		Warmup: 5_000, Measured: 10_000,
+		Workloads: []string{"433.milc", "444.namd"},
+		Serial:    true,
+	}
+	parallelScale := serialScale
+	parallelScale.Serial = false
+	parallelScale.Workers = 8
+
+	serial, err := RunFig12(serialScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig12(parallelScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Geomean, parallel.Geomean) {
+		t.Errorf("Geomean matrices differ:\nserial:   %v\nparallel: %v",
+			serial.Geomean, parallel.Geomean)
+	}
+	if !reflect.DeepEqual(serial.Variants, parallel.Variants) ||
+		!reflect.DeepEqual(serial.XValues, parallel.XValues) {
+		t.Error("axis labels differ between serial and parallel runs")
+	}
+}
+
+// TestBaselineSingleFlight hammers one runner's baseline from many
+// goroutines: all callers must share one simulation (the cache holds a
+// single key afterwards) and receive identical results. Run under
+// -race this doubles as the concurrency-safety test for the memoized
+// baseline the old plain-map runner could not provide.
+func TestBaselineSingleFlight(t *testing.T) {
+	r := newRunner(Scale{Warmup: 2_000, Measured: 4_000, Workers: 8})
+	const callers = 16
+	results := make([]float64, callers)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, err := r.baseline("444.namd")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res.IPCSum
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for g := 1; g < callers; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("caller %d saw IPCSum %v, caller 0 saw %v", g, results[g], results[0])
+		}
+	}
+	if n := r.cache.Len(); n != 1 {
+		t.Fatalf("cache holds %d runs, want 1 (baseline deduplicated)", n)
+	}
+}
+
+// TestRunnerSessionReusesRuns verifies the cross-experiment dedup: a
+// second identical experiment on the same Runner session must not
+// execute any new simulations.
+func TestRunnerSessionReusesRuns(t *testing.T) {
+	session := NewRunner(Scale{
+		Warmup: 2_000, Measured: 4_000,
+		Workloads: []string{"433.milc"},
+	})
+	first, err := session.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := session.CachedRuns()
+	if runs == 0 {
+		t.Fatal("no runs cached after Fig12")
+	}
+	second, err := session.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session.CachedRuns() != runs {
+		t.Errorf("rerun executed %d new simulations, want 0", session.CachedRuns()-runs)
+	}
+	if !reflect.DeepEqual(first.Geomean, second.Geomean) {
+		t.Error("cached rerun produced different results")
+	}
+}
+
+// TestCanonicalKeySharing pins the canonicalization rules: names never
+// split the cache, defaulted NRH and PRACLevel collapse onto their
+// effective values, and genuinely different configurations stay apart.
+func TestCanonicalKeySharing(t *testing.T) {
+	a := canonicalKey(Variant{Name: "TPRAC", Policy: 2, NRH: 1024}, "433.milc")
+	b := canonicalKey(Variant{Name: "renamed", Policy: 2, NRH: 0, PRACLevel: 1}, "433.milc")
+	if a != b {
+		t.Errorf("equivalent variants got distinct keys: %+v vs %+v", a, b)
+	}
+	c := canonicalKey(Variant{Name: "TPRAC", Policy: 2, NRH: 512}, "433.milc")
+	if a == c {
+		t.Error("different NRH collapsed onto one key")
+	}
+	d := canonicalKey(Variant{Name: "TPRAC", Policy: 2, NRH: 1024}, "444.namd")
+	if a == d {
+		t.Error("different workloads collapsed onto one key")
+	}
+}

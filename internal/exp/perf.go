@@ -5,17 +5,29 @@ import (
 
 	"pracsim/internal/analysis"
 	"pracsim/internal/energy"
+	"pracsim/internal/exp/pool"
 	"pracsim/internal/sim"
 	"pracsim/internal/stats"
 	"pracsim/internal/ticks"
 	"pracsim/internal/trace"
 )
 
-// Scale controls how much work the performance experiments simulate.
+// Scale controls how much work the performance experiments simulate and
+// how that work is scheduled.
 type Scale struct {
 	Warmup    int64    // warmup instructions per core
 	Measured  int64    // measured instructions per core
 	Workloads []string // nil = all 50 catalog workloads
+
+	// Workers caps experiment concurrency: 0 fans the (variant,
+	// workload) grid across every GOMAXPROCS core, otherwise exactly
+	// Workers simulations run at once. Results are bit-identical at
+	// any setting — each simulation is self-contained and results are
+	// assembled by grid position, never by completion order.
+	Workers int
+	// Serial forces single-threaded execution (equivalent to
+	// Workers=1); the debugging knob.
+	Serial bool
 }
 
 // QuickScale is a minutes-not-days configuration: a representative subset
@@ -118,51 +130,82 @@ type PerfRun struct {
 	Result   sim.RunResult
 }
 
-// runner caches per-workload baselines so each variant comparison reuses
-// them.
+// runKey identifies one simulation up to result equality: the display
+// name never affects a run, and defaulted fields are canonicalized
+// (NRH=0 means 1024, PRACLevel=0 means 1), so variants spelled
+// differently by different figures still share one execution.
+type runKey struct {
+	v        Variant
+	workload string
+}
+
+func canonicalKey(v Variant, workload string) runKey {
+	v.Name = ""
+	if v.NRH <= 0 {
+		v.NRH = 1024
+	}
+	if v.PRACLevel <= 0 {
+		v.PRACLevel = 1
+	}
+	return runKey{v: v, workload: workload}
+}
+
+// runner executes experiment grids on a worker pool. A single-flight
+// cache keyed by canonicalized (variant, workload) deduplicates
+// identical simulations — per-workload baselines run once no matter how
+// many variants normalize against them, and configurations shared
+// between experiments (Table 5 re-runs Figure 13's TPRAC points)
+// execute once per runner.
 type runner struct {
-	scale     Scale
-	baselines map[string]sim.RunResult
+	scale Scale
+	pool  *pool.Pool
+	cache pool.Cache[runKey, sim.RunResult]
 }
 
 func newRunner(scale Scale) *runner {
-	return &runner{scale: scale, baselines: make(map[string]sim.RunResult)}
+	workers := scale.Workers
+	if scale.Serial {
+		workers = 1
+	}
+	return &runner{scale: scale, pool: pool.New(workers)}
+}
+
+// run executes (or retrieves) one simulation. Concurrent callers with
+// equivalent configurations share a single execution.
+func (r *runner) run(v Variant, workload string) (sim.RunResult, error) {
+	return r.cache.Do(canonicalKey(v, workload), func() (sim.RunResult, error) {
+		cfg, err := configure(v, workload)
+		if err != nil {
+			return sim.RunResult{}, err
+		}
+		sys, err := sim.NewSystem(cfg)
+		if err != nil {
+			return sim.RunResult{}, err
+		}
+		res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
+		if err != nil {
+			return sim.RunResult{}, fmt.Errorf("exp: %s on %s: %w", v.Name, workload, err)
+		}
+		return res, nil
+	})
 }
 
 func (r *runner) baseline(workload string) (sim.RunResult, error) {
-	if res, ok := r.baselines[workload]; ok {
-		return res, nil
-	}
-	cfg, err := configure(Variant{Name: "Baseline", Policy: sim.PolicyNone}, workload)
+	res, err := r.run(Variant{Name: "Baseline", Policy: sim.PolicyNone}, workload)
 	if err != nil {
-		return sim.RunResult{}, err
+		return res, fmt.Errorf("exp: baseline %s: %w", workload, err)
 	}
-	sys, err := sim.NewSystem(cfg)
-	if err != nil {
-		return sim.RunResult{}, err
-	}
-	res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
-	if err != nil {
-		return sim.RunResult{}, fmt.Errorf("exp: baseline %s: %w", workload, err)
-	}
-	r.baselines[workload] = res
 	return res, nil
 }
 
-func (r *runner) run(v Variant, workload string) (sim.RunResult, error) {
-	cfg, err := configure(v, workload)
-	if err != nil {
-		return sim.RunResult{}, err
-	}
-	sys, err := sim.NewSystem(cfg)
-	if err != nil {
-		return sim.RunResult{}, err
-	}
-	res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
-	if err != nil {
-		return sim.RunResult{}, fmt.Errorf("exp: %s on %s: %w", v.Name, workload, err)
-	}
-	return res, nil
+// prefetchBaselines primes the per-workload baselines across the pool
+// so grid jobs don't stack up behind their shared baseline's single
+// flight.
+func (r *runner) prefetchBaselines(names []string) error {
+	return r.pool.Run(len(names), func(i int) error {
+		_, err := r.baseline(names[i])
+		return err
+	})
 }
 
 // normalized runs a variant over a workload and returns performance
@@ -183,6 +226,42 @@ func (r *runner) normalized(v Variant, workload string) (float64, sim.RunResult,
 	}
 	return res.IPCSum / base.IPCSum, res, nil
 }
+
+// Runner is a shareable experiment session. Experiments run through the
+// same Runner share its worker pool and its keyed run cache, so a
+// driver running several figures back to back (cmd/tpracsim -exp all)
+// never executes the same (variant, workload, scale) simulation twice.
+type Runner struct {
+	r *runner
+}
+
+// NewRunner returns a session for the given scale.
+func NewRunner(scale Scale) *Runner { return &Runner{r: newRunner(scale)} }
+
+// CachedRuns reports how many distinct simulations the session has
+// executed (or has in flight) — the dedup observability counter.
+func (s *Runner) CachedRuns() int { return s.r.cache.Len() }
+
+// Fig10 runs Figure 10 within this session.
+func (s *Runner) Fig10() (Fig10Result, error) { return runFig10(s.r) }
+
+// Fig11 runs Figure 11 within this session.
+func (s *Runner) Fig11() (SweepResult, error) { return runFig11(s.r) }
+
+// Fig12 runs Figure 12 within this session.
+func (s *Runner) Fig12() (SweepResult, error) { return runFig12(s.r) }
+
+// Fig13 runs Figure 13 within this session.
+func (s *Runner) Fig13() (SweepResult, error) { return runFig13(s.r) }
+
+// Fig14 runs Figure 14 within this session.
+func (s *Runner) Fig14() (SweepResult, error) { return runFig14(s.r) }
+
+// Table5 runs Table 5 within this session.
+func (s *Runner) Table5() (Table5Result, error) { return runTable5(s.r) }
+
+// RFMpb runs the Section 7.2 extension within this session.
+func (s *Runner) RFMpb() (RFMpbResult, error) { return runRFMpb(s.r) }
 
 // Fig10Result is the main performance comparison at NRH 1024.
 type Fig10Result struct {
@@ -206,39 +285,51 @@ func Fig10Variants(nrh int) []Variant {
 
 // RunFig10 reproduces Figure 10: normalized performance of ABO-Only,
 // ABO+ACB-RFM and TPRAC at NRH=1024 across the workload set.
-func RunFig10(scale Scale) (Fig10Result, error) {
-	r := newRunner(scale)
+func RunFig10(scale Scale) (Fig10Result, error) { return runFig10(newRunner(scale)) }
+
+func runFig10(r *runner) (Fig10Result, error) {
 	variants := Fig10Variants(1024)
-	res := Fig10Result{}
+	names := r.scale.workloads()
+	res := Fig10Result{Workloads: names}
 	for _, v := range variants {
 		res.Variants = append(res.Variants, v.Name)
 	}
-	perVariantAll := make([][]float64, len(variants))
-	perVariantHigh := make([][]float64, len(variants))
-	for _, name := range scale.workloads() {
+	for _, name := range names {
 		w, err := trace.Lookup(name)
 		if err != nil {
 			return res, err
 		}
-		res.Workloads = append(res.Workloads, name)
 		res.Classes = append(res.Classes, w.Class)
-		row := make([]float64, len(variants))
-		for j, v := range variants {
-			n, _, err := r.normalized(v, name)
-			if err != nil {
-				return res, err
-			}
-			row[j] = n
-			perVariantAll[j] = append(perVariantAll[j], n)
-			if w.Class == trace.ClassHigh {
-				perVariantHigh[j] = append(perVariantHigh[j], n)
-			}
+	}
+	if err := r.prefetchBaselines(names); err != nil {
+		return res, err
+	}
+	res.Normalized = make([][]float64, len(names))
+	for i := range res.Normalized {
+		res.Normalized[i] = make([]float64, len(variants))
+	}
+	err := r.pool.Run(len(names)*len(variants), func(k int) error {
+		i, j := k/len(variants), k%len(variants)
+		n, _, err := r.normalized(variants[j], names[i])
+		if err != nil {
+			return err
 		}
-		res.Normalized = append(res.Normalized, row)
+		res.Normalized[i][j] = n
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
 	for j := range variants {
-		res.GeomeanAll = append(res.GeomeanAll, stats.Geomean(perVariantAll[j]))
-		res.GeomeanHigh = append(res.GeomeanHigh, stats.Geomean(perVariantHigh[j]))
+		var all, high []float64
+		for i := range names {
+			all = append(all, res.Normalized[i][j])
+			if res.Classes[i] == trace.ClassHigh {
+				high = append(high, res.Normalized[i][j])
+			}
+		}
+		res.GeomeanAll = append(res.GeomeanAll, stats.Geomean(all))
+		res.GeomeanHigh = append(res.GeomeanHigh, stats.Geomean(high))
 	}
 	return res, nil
 }
@@ -284,27 +375,50 @@ type SweepResult struct {
 	Geomean [][]float64
 }
 
-func runSweep(title, xlabel string, scale Scale, xs []string, variants func(x int) []Variant, xvals []int) (SweepResult, error) {
-	r := newRunner(scale)
+// runSweep fans the whole (x, variant, workload) grid across the pool
+// in one batch — every cell is an independent simulation — then reduces
+// the geomeans serially, in grid order, once all cells are in place.
+func runSweep(r *runner, title, xlabel string, xs []string, variants func(x int) []Variant, xvals []int) (SweepResult, error) {
+	names := r.scale.workloads()
 	res := SweepResult{Title: title, XLabel: xlabel, XValues: xs}
+	grid := make([][]Variant, len(xvals))
 	for i, x := range xvals {
-		vs := variants(x)
-		if i == 0 {
-			for _, v := range vs {
-				res.Variants = append(res.Variants, v.Name)
+		grid[i] = variants(x)
+	}
+	for _, v := range grid[0] {
+		res.Variants = append(res.Variants, v.Name)
+	}
+	if err := r.prefetchBaselines(names); err != nil {
+		return res, err
+	}
+	type cellRef struct{ xi, vj, wi int }
+	var cells []cellRef
+	ns := make([][][]float64, len(xvals))
+	for xi := range grid {
+		ns[xi] = make([][]float64, len(grid[xi]))
+		for vj := range grid[xi] {
+			ns[xi][vj] = make([]float64, len(names))
+			for wi := range names {
+				cells = append(cells, cellRef{xi, vj, wi})
 			}
 		}
-		row := make([]float64, len(vs))
-		for j, v := range vs {
-			var ns []float64
-			for _, name := range scale.workloads() {
-				n, _, err := r.normalized(v, name)
-				if err != nil {
-					return res, err
-				}
-				ns = append(ns, n)
-			}
-			row[j] = stats.Geomean(ns)
+	}
+	err := r.pool.Run(len(cells), func(k int) error {
+		c := cells[k]
+		n, _, err := r.normalized(grid[c.xi][c.vj], names[c.wi])
+		if err != nil {
+			return err
+		}
+		ns[c.xi][c.vj][c.wi] = n
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for xi := range ns {
+		row := make([]float64, len(ns[xi]))
+		for vj := range ns[xi] {
+			row[vj] = stats.Geomean(ns[xi][vj])
 		}
 		res.Geomean = append(res.Geomean, row)
 	}
@@ -330,10 +444,12 @@ func (r SweepResult) Render() string { return r.Title + "\n" + r.table().String(
 func (r SweepResult) CSV() string { return r.table().CSV() }
 
 // RunFig11 reproduces Figure 11: sensitivity to the PRAC level at NRH=1024.
-func RunFig11(scale Scale) (SweepResult, error) {
-	return runSweep(
+func RunFig11(scale Scale) (SweepResult, error) { return runFig11(newRunner(scale)) }
+
+func runFig11(r *runner) (SweepResult, error) {
+	return runSweep(r,
 		"Figure 11: normalized performance across PRAC levels (NRH=1024)",
-		"PRAC-level", scale,
+		"PRAC-level",
 		[]string{"PRAC-1", "PRAC-2", "PRAC-4"},
 		func(level int) []Variant {
 			vs := Fig10Variants(1024)
@@ -347,10 +463,12 @@ func RunFig11(scale Scale) (SweepResult, error) {
 }
 
 // RunFig12 reproduces Figure 12: sensitivity to targeted-refresh rate.
-func RunFig12(scale Scale) (SweepResult, error) {
-	return runSweep(
+func RunFig12(scale Scale) (SweepResult, error) { return runFig12(newRunner(scale)) }
+
+func runFig12(r *runner) (SweepResult, error) {
+	return runSweep(r,
 		"Figure 12: TPRAC with targeted refreshes (NRH=1024)",
-		"TREF-per-tREFI", scale,
+		"TREF-per-tREFI",
 		[]string{"none", "1/4", "1/3", "1/2", "1/1"},
 		func(every int) []Variant {
 			v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: 1024}
@@ -366,10 +484,12 @@ func RunFig12(scale Scale) (SweepResult, error) {
 }
 
 // RunFig13 reproduces Figure 13: sensitivity to the RowHammer threshold.
-func RunFig13(scale Scale) (SweepResult, error) {
-	return runSweep(
+func RunFig13(scale Scale) (SweepResult, error) { return runFig13(newRunner(scale)) }
+
+func runFig13(r *runner) (SweepResult, error) {
+	return runSweep(r,
 		"Figure 13: normalized performance across RowHammer thresholds",
-		"NRH", scale,
+		"NRH",
 		[]string{"128", "256", "512", "1024", "2048", "4096"},
 		func(nrh int) []Variant {
 			vs := Fig10Variants(nrh)
@@ -384,10 +504,12 @@ func RunFig13(scale Scale) (SweepResult, error) {
 }
 
 // RunFig14 reproduces Figure 14: activation-counter reset sensitivity.
-func RunFig14(scale Scale) (SweepResult, error) {
-	return runSweep(
+func RunFig14(scale Scale) (SweepResult, error) { return runFig14(newRunner(scale)) }
+
+func runFig14(r *runner) (SweepResult, error) {
+	return runSweep(r,
 		"Figure 14: TPRAC with and without per-tREFW counter reset",
-		"NRH", scale,
+		"NRH",
 		[]string{"128", "256", "512", "1024", "2048", "4096"},
 		func(nrh int) []Variant {
 			return []Variant{
@@ -417,34 +539,56 @@ type Table5Result struct {
 // RunTable5 reproduces Table 5: TPRAC's energy overhead versus the no-ABO
 // baseline, split into mitigation (RFM) and non-mitigation (execution time)
 // energy, across RowHammer thresholds.
-func RunTable5(scale Scale) (Table5Result, error) {
-	r := newRunner(scale)
+func RunTable5(scale Scale) (Table5Result, error) { return runTable5(newRunner(scale)) }
+
+func runTable5(r *runner) (Table5Result, error) {
 	params := energy.DefaultParams()
+	names := r.scale.workloads()
+	nrhs := []int{128, 256, 512, 1024, 2048, 4096}
 	var res Table5Result
-	for _, nrh := range []int{128, 256, 512, 1024, 2048, 4096} {
-		v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}
-		var mit, non, tot []float64
-		for _, name := range scale.workloads() {
-			base, err := r.baseline(name)
-			if err != nil {
-				return res, err
-			}
-			run, err := r.run(v, name)
-			if err != nil {
-				return res, err
-			}
-			cfg, err := configure(v, name)
-			if err != nil {
-				return res, err
-			}
-			o, err := energy.CompareRuns(params, base.DRAM, run.DRAM,
-				cfg.DRAM.Org.Ranks, base.MeasuredTime, run.MeasuredTime)
-			if err != nil {
-				return res, err
-			}
-			mit = append(mit, o.MitigationPct)
-			non = append(non, o.NonMitigationPct)
-			tot = append(tot, o.TotalPct)
+	if err := r.prefetchBaselines(names); err != nil {
+		return res, err
+	}
+	type overheads struct{ mit, non, tot float64 }
+	cells := make([][]overheads, len(nrhs))
+	for i := range cells {
+		cells[i] = make([]overheads, len(names))
+	}
+	err := r.pool.Run(len(nrhs)*len(names), func(k int) error {
+		ni, wi := k/len(names), k%len(names)
+		v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrhs[ni]}
+		name := names[wi]
+		base, err := r.baseline(name)
+		if err != nil {
+			return err
+		}
+		run, err := r.run(v, name)
+		if err != nil {
+			return err
+		}
+		cfg, err := configure(v, name)
+		if err != nil {
+			return err
+		}
+		o, err := energy.CompareRuns(params, base.DRAM, run.DRAM,
+			cfg.DRAM.Org.Ranks, base.MeasuredTime, run.MeasuredTime)
+		if err != nil {
+			return err
+		}
+		cells[ni][wi] = overheads{o.MitigationPct, o.NonMitigationPct, o.TotalPct}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ni, nrh := range nrhs {
+		mit := make([]float64, len(names))
+		non := make([]float64, len(names))
+		tot := make([]float64, len(names))
+		for wi := range names {
+			mit[wi] = cells[ni][wi].mit
+			non[wi] = cells[ni][wi].non
+			tot[wi] = cells[ni][wi].tot
 		}
 		res.Rows = append(res.Rows, Table5Row{
 			NRH:              nrh,

@@ -1,0 +1,152 @@
+// Package pool is the concurrent experiment execution engine: a worker
+// pool that fans independent jobs across GOMAXPROCS goroutines with
+// deterministic, position-indexed result assembly, and a single-flight
+// cache that deduplicates identical simulations.
+//
+// Every experiment in the paper's evaluation is a grid of fully
+// independent (variant, workload) simulations, so sweep throughput
+// scales with cores: callers enumerate the grid as indexed jobs, each
+// job writes into its own slot of a preallocated result matrix, and all
+// aggregation happens serially after Run returns. Parallel output is
+// therefore bit-identical to serial output at any worker count.
+package pool
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes batches of independent jobs across a fixed number of
+// workers.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given concurrency. workers <= 0 selects
+// GOMAXPROCS; workers == 1 executes jobs serially in index order on the
+// calling goroutine (the debugging configuration).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes jobs 0..n-1 and blocks until all have finished. Each job
+// must write its output into caller-owned storage at its own index;
+// jobs must not depend on each other's completion (single-flight
+// sharing through a Cache is fine: the blocked caller's worker waits,
+// the computing job finishes on its own worker).
+//
+// If any jobs fail, Run reports the error of the lowest-indexed
+// failure, and workers stop claiming new jobs once a failure is
+// recorded (in-flight jobs finish). Indices are claimed in ascending
+// order, so every job below the first observed failure still runs and
+// the returned error is independent of scheduling order. With one
+// worker, Run stops at the first failing job, mirroring a plain serial
+// loop.
+func (p *Pool) Run(n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := job(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Cache memoizes keyed computations with single-flight semantics:
+// concurrent Do calls with the same key share one execution of fn, and
+// later calls return the memoized result without re-running it. Errors
+// are cached like values, so a failing key fails every caller
+// identically. The zero Cache is ready to use.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the value for key, computing it with fn on first use.
+// Calls arriving while the key is in flight block until the computing
+// caller's fn returns, then share its result.
+func (c *Cache[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*flight[V])
+	}
+	if f, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.m[key] = f
+	c.mu.Unlock()
+	completed := false
+	defer func() {
+		// A panicking fn propagates to its own caller, but the flight
+		// must still complete or every waiter on this key blocks forever.
+		if !completed {
+			f.err = errors.New("pool: cached computation panicked")
+		}
+		close(f.done)
+	}()
+	f.val, f.err = fn()
+	completed = true
+	return f.val, f.err
+}
+
+// Len reports how many keys have been computed or are in flight.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

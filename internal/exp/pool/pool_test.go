@@ -1,0 +1,211 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAssemblesByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		const n = 100
+		got := make([]int, n)
+		err := New(workers).Run(n, func(i int) error {
+			got[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunReportsLowestIndexedError(t *testing.T) {
+	want := errors.New("boom-17")
+	err := New(8).Run(64, func(i int) error {
+		if i == 17 || i == 40 {
+			return fmt.Errorf("boom-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != want.Error() {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+func TestRunSerialStopsAtFirstError(t *testing.T) {
+	var ran int
+	err := New(1).Run(10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("err=%v ran=%d, want error after 4 jobs", err, ran)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := New(4).Run(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("zero workers")
+	}
+	if New(-3).Workers() < 1 {
+		t.Fatal("negative workers accepted")
+	}
+	if New(5).Workers() != 5 {
+		t.Fatal("explicit worker count not honored")
+	}
+}
+
+// TestCacheSingleFlight drives one key from many goroutines and checks
+// the computation ran exactly once with every caller sharing its
+// result. Run under -race this also proves the cache is data-race
+// free.
+func TestCacheSingleFlight(t *testing.T) {
+	var c Cache[string, int]
+	var executions atomic.Int32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 32
+	results := make([]int, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.Do("baseline/433.milc", func() (int, error) {
+				executions.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	for g, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d, want 42", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d keys, want 1", c.Len())
+	}
+}
+
+func TestCacheDistinctKeysComputeIndependently(t *testing.T) {
+	var c Cache[int, int]
+	var wg sync.WaitGroup
+	const keys = 16
+	for k := 0; k < keys; k++ {
+		for dup := 0; dup < 4; dup++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err := c.Do(k, func() (int, error) { return k * 10, nil })
+				if err != nil || v != k*10 {
+					t.Errorf("key %d: got %d, %v", k, v, err)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if c.Len() != keys {
+		t.Fatalf("cache holds %d keys, want %d", c.Len(), keys)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[string, int]
+	var executions int
+	fail := func() (int, error) {
+		executions++
+		return 0, errors.New("no window")
+	}
+	if _, err := c.Do("bad", fail); err == nil {
+		t.Fatal("first call should fail")
+	}
+	if _, err := c.Do("bad", fail); err == nil {
+		t.Fatal("second call should return the cached error")
+	}
+	if executions != 1 {
+		t.Fatalf("fn executed %d times, want 1", executions)
+	}
+}
+
+func TestCacheSurvivesPanickingFn(t *testing.T) {
+	var c Cache[string, int]
+	func() {
+		defer func() { recover() }()
+		c.Do("bad", func() (int, error) { panic("boom") })
+		t.Error("panic did not propagate")
+	}()
+	// The flight must have completed: a second Do must not block and
+	// must surface an error rather than a zero-value success.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do("bad", func() (int, error) { return 1, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("panicked flight cached a success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do blocked forever on a panicked flight")
+	}
+}
+
+// TestPoolWithCacheUnderRace mirrors the runner's real shape: a grid of
+// jobs where several jobs single-flight the same expensive dependency.
+func TestPoolWithCacheUnderRace(t *testing.T) {
+	var c Cache[int, int]
+	var executions atomic.Int32
+	const groups, perGroup = 8, 6
+	out := make([]int, groups*perGroup)
+	err := New(8).Run(len(out), func(i int) error {
+		g := i / perGroup
+		v, err := c.Do(g, func() (int, error) {
+			executions.Add(1)
+			return g * 100, nil
+		})
+		if err != nil {
+			return err
+		}
+		out[i] = v + i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := executions.Load(); n != groups {
+		t.Fatalf("dependencies computed %d times, want %d", n, groups)
+	}
+	for i, v := range out {
+		if want := (i/perGroup)*100 + i; v != want {
+			t.Fatalf("slot %d = %d, want %d", i, v, want)
+		}
+	}
+}

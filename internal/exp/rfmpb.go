@@ -21,25 +21,48 @@ type RFMpbResult struct {
 // that block one bank for tRFMpb instead of stalling the whole channel for
 // tRFMab. Each bank still receives one activity-independent mitigation per
 // TB-Window, preserving the Section 4.2 security argument per bank.
-func RunRFMpb(scale Scale) (RFMpbResult, error) {
-	r := newRunner(scale)
-	res := RFMpbResult{}
-	for _, nrh := range []int{256, 512, 1024} {
-		res.NRHs = append(res.NRHs, nrh)
-		var ab, pb []float64
+func RunRFMpb(scale Scale) (RFMpbResult, error) { return runRFMpb(newRunner(scale)) }
+
+func runRFMpb(r *runner) (RFMpbResult, error) {
+	names := r.scale.workloads()
+	nrhs := []int{256, 512, 1024}
+	res := RFMpbResult{NRHs: nrhs}
+	if err := r.prefetchBaselines(names); err != nil {
+		return res, err
+	}
+	type pair struct {
+		ab, pb float64
+		alerts int64
+	}
+	cells := make([][]pair, len(nrhs))
+	for i := range cells {
+		cells[i] = make([]pair, len(names))
+	}
+	err := r.pool.Run(len(nrhs)*len(names), func(k int) error {
+		ni, wi := k/len(names), k%len(names)
+		nrh, name := nrhs[ni], names[wi]
+		nAB, _, err := r.normalized(Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}, name)
+		if err != nil {
+			return fmt.Errorf("rfmpb ab nrh=%d: %w", nrh, err)
+		}
+		nPB, run, err := r.normalized(Variant{Name: "TPRAC-pb", Policy: sim.PolicyTPRACpb, NRH: nrh}, name)
+		if err != nil {
+			return fmt.Errorf("rfmpb pb nrh=%d: %w", nrh, err)
+		}
+		cells[ni][wi] = pair{ab: nAB, pb: nPB, alerts: run.DRAM.AlertsAsserted}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for ni := range nrhs {
+		ab := make([]float64, len(names))
+		pb := make([]float64, len(names))
 		var alerts int64
-		for _, name := range scale.workloads() {
-			nAB, _, err := r.normalized(Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}, name)
-			if err != nil {
-				return res, fmt.Errorf("rfmpb ab nrh=%d: %w", nrh, err)
-			}
-			nPB, run, err := r.normalized(Variant{Name: "TPRAC-pb", Policy: sim.PolicyTPRACpb, NRH: nrh}, name)
-			if err != nil {
-				return res, fmt.Errorf("rfmpb pb nrh=%d: %w", nrh, err)
-			}
-			ab = append(ab, nAB)
-			pb = append(pb, nPB)
-			alerts += run.DRAM.AlertsAsserted
+		for wi := range names {
+			ab[wi] = cells[ni][wi].ab
+			pb[wi] = cells[ni][wi].pb
+			alerts += cells[ni][wi].alerts
 		}
 		res.RFMab = append(res.RFMab, stats.Geomean(ab))
 		res.RFMpb = append(res.RFMpb, stats.Geomean(pb))

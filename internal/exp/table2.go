@@ -25,48 +25,55 @@ type Table2Result struct {
 // RunTable2 reproduces Table 2: transmission period and bitrate of the
 // activity-based and activation-count-based covert channels for NBO in
 // {256, 512, 1024}, over the given number of symbols per configuration.
-func RunTable2(symbols int) (Table2Result, error) {
+// The six channel configurations are independent and run in parallel
+// across workers (optional; all cores by default); rows keep their
+// fixed order (three activity, then three count).
+func RunTable2(symbols int, workers ...int) (Table2Result, error) {
 	if symbols <= 0 {
 		symbols = 16
 	}
-	var res Table2Result
-	for _, nbo := range []int{256, 512, 1024} {
-		a, err := attack.RunActivityChannel(attack.ActivityConfig{
-			NBO:     nbo,
-			NumBits: symbols,
-			Seed:    int64(nbo),
-		})
-		if err != nil {
-			return res, fmt.Errorf("table2 activity nbo=%d: %w", nbo, err)
+	nbos := []int{256, 512, 1024}
+	res := Table2Result{Rows: make([]Table2Row, 2*len(nbos))}
+	err := sweepPool(workers).Run(len(res.Rows), func(i int) error {
+		nbo := nbos[i%len(nbos)]
+		if i < len(nbos) {
+			a, err := attack.RunActivityChannel(attack.ActivityConfig{
+				NBO:     nbo,
+				NumBits: symbols,
+				Seed:    int64(nbo),
+			})
+			if err != nil {
+				return fmt.Errorf("table2 activity nbo=%d: %w", nbo, err)
+			}
+			res.Rows[i] = Table2Row{
+				Type:        "Activity-Based",
+				NBO:         nbo,
+				PeriodUS:    a.Period.US(),
+				BitrateKbps: a.BitrateKbps,
+				ErrorRate:   a.ErrorRate,
+				Symbols:     a.Symbols,
+			}
+			return nil
 		}
-		res.Rows = append(res.Rows, Table2Row{
-			Type:        "Activity-Based",
-			NBO:         nbo,
-			PeriodUS:    a.Period.US(),
-			BitrateKbps: a.BitrateKbps,
-			ErrorRate:   a.ErrorRate,
-			Symbols:     a.Symbols,
-		})
-	}
-	for _, nbo := range []int{256, 512, 1024} {
 		c, err := attack.RunCountChannel(attack.CountConfig{
 			NBO:     nbo,
 			NumVals: symbols,
 			Seed:    int64(nbo),
 		})
 		if err != nil {
-			return res, fmt.Errorf("table2 count nbo=%d: %w", nbo, err)
+			return fmt.Errorf("table2 count nbo=%d: %w", nbo, err)
 		}
-		res.Rows = append(res.Rows, Table2Row{
+		res.Rows[i] = Table2Row{
 			Type:        "Activation-Count-Based",
 			NBO:         nbo,
 			PeriodUS:    c.Period.US(),
 			BitrateKbps: c.BitrateKbps,
 			ErrorRate:   c.ErrorRate,
 			Symbols:     c.Symbols,
-		})
-	}
-	return res, nil
+		}
+		return nil
+	})
+	return res, err
 }
 
 func (r Table2Result) table() *stats.Table {

@@ -4,24 +4,33 @@
 package sim
 
 import (
-	"container/heap"
-
 	"pracsim/internal/ticks"
 )
 
 // Engine advances simulated time, driving periodic tickers (cores, the
 // memory controller) and one-shot scheduled events. Components are strictly
 // single-threaded: all callbacks run on the caller's goroutine in time order.
+//
+// Both tickers and events live in binary min-heaps keyed by next fire
+// time, so finding the next timestep is O(1) and every schedule or fire
+// is O(log n) — the hot loop never scans the full ticker set. The heaps
+// are concrete-typed with hand-rolled sift routines: pushing an event
+// does not box it into an interface, so the per-request scheduling that
+// dominates Engine work allocates nothing.
 type Engine struct {
 	now     ticks.T
-	tickers []*ticker
+	tickers tickerHeap
 	events  eventHeap
+	nextID  int
 	stopped bool
 }
 
-type ticker struct {
+// Ticker is a handle to a periodic callback, returned by AddTicker and
+// accepted by RemoveTicker.
+type Ticker struct {
 	period ticks.T
-	next   ticks.T
+	id     int // registration order; break ties at equal fire times
+	pos    int // index in the ticker heap, -1 once removed
 	fn     func(now ticks.T)
 }
 
@@ -31,26 +40,155 @@ type event struct {
 	fn  func(now ticks.T)
 }
 
+// eventHeap is a concrete-typed binary min-heap ordered by (at, seq).
 type eventHeap struct {
 	items []event
 	seq   int64
 }
 
-func (h *eventHeap) Len() int { return len(h.items) }
-func (h *eventHeap) Less(i, j int) bool {
+func (h *eventHeap) less(i, j int) bool {
 	if h.items[i].at != h.items[j].at {
 		return h.items[i].at < h.items[j].at
 	}
 	return h.items[i].seq < h.items[j].seq
 }
-func (h *eventHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *eventHeap) Push(x any)    { h.items = append(h.items, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (h *eventHeap) push(ev event) {
+	h.items = append(h.items, ev)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	items := h.items
+	n := len(items) - 1
+	top := items[0]
+	items[0] = items[n]
+	items[n] = event{} // release the closure so the backing array doesn't pin it
+	h.items = items[:n]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if r := child + 1; r < n && h.less(r, child) {
+			child = r
+		}
+		if !h.less(child, i) {
+			return
+		}
+		h.items[i], h.items[child] = h.items[child], h.items[i]
+		i = child
+	}
+}
+
+// tickerHeap is a binary min-heap of live tickers ordered by
+// (next fire time, registration order), with position bookkeeping so
+// RemoveTicker is O(log n). The sort keys live inline in the slots, so
+// sift comparisons stay on contiguous memory instead of chasing Ticker
+// pointers.
+type tickerHeap struct {
+	items []tickerSlot
+}
+
+type tickerSlot struct {
+	next ticks.T
+	id   int
+	t    *Ticker
+}
+
+func (h *tickerHeap) less(i, j int) bool {
+	return h.slotLess(&h.items[i], &h.items[j])
+}
+
+func (h *tickerHeap) slotLess(a, b *tickerSlot) bool {
+	if a.next != b.next {
+		return a.next < b.next
+	}
+	return a.id < b.id
+}
+
+func (h *tickerHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].t.pos = i
+	h.items[j].t.pos = j
+}
+
+func (h *tickerHeap) push(t *Ticker, next ticks.T) {
+	t.pos = len(h.items)
+	h.items = append(h.items, tickerSlot{next: next, id: t.id, t: t})
+	h.siftUp(t.pos)
+}
+
+func (h *tickerHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown percolates a hole instead of swapping pairwise: children
+// shift up one write at a time and the displaced slot lands once at its
+// final position.
+func (h *tickerHeap) siftDown(i int) {
+	n := len(h.items)
+	moving := h.items[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.slotLess(&h.items[r], &h.items[child]) {
+			child = r
+		}
+		if !h.slotLess(&h.items[child], &moving) {
+			break
+		}
+		h.items[i] = h.items[child]
+		h.items[i].t.pos = i
+		i = child
+	}
+	h.items[i] = moving
+	moving.t.pos = i
+}
+
+func (h *tickerHeap) fix(i int) {
+	h.siftDown(i)
+	h.siftUp(i)
+}
+
+func (h *tickerHeap) remove(t *Ticker) {
+	i := t.pos
+	if i < 0 {
+		return
+	}
+	n := len(h.items) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.items[n] = tickerSlot{}
+	h.items = h.items[:n]
+	t.pos = -1
+	if i < n {
+		h.fix(i)
+	}
 }
 
 // NewEngine returns an engine at time zero.
@@ -59,18 +197,31 @@ func NewEngine() *Engine { return &Engine{} }
 // Now reports the current simulated time.
 func (e *Engine) Now() ticks.T { return e.now }
 
-// AddTicker registers fn to run every period ticks, starting at time offset.
-func (e *Engine) AddTicker(period, offset ticks.T, fn func(now ticks.T)) {
+// AddTicker registers fn to run every period ticks, starting at time offset
+// (clamped to the present on a warm engine, so time never runs backwards),
+// and returns a handle RemoveTicker accepts. Tickers due at the same
+// timestep fire in registration order, after that timestep's one-shot
+// events.
+func (e *Engine) AddTicker(period, offset ticks.T, fn func(now ticks.T)) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	e.tickers = append(e.tickers, &ticker{period: period, next: offset, fn: fn})
+	if offset < e.now {
+		offset = e.now
+	}
+	t := &Ticker{period: period, id: e.nextID, fn: fn}
+	e.nextID++
+	e.tickers.push(t, offset)
+	return t
 }
+
+// RemoveTicker cancels a ticker; removing one twice is a no-op.
+func (e *Engine) RemoveTicker(t *Ticker) { e.tickers.remove(t) }
 
 // After schedules fn to run once, delay ticks from now.
 func (e *Engine) After(delay ticks.T, fn func(now ticks.T)) {
 	e.events.seq++
-	heap.Push(&e.events, event{at: e.now + delay, seq: e.events.seq, fn: fn})
+	e.events.push(event{at: e.now + delay, seq: e.events.seq, fn: fn})
 }
 
 // At schedules fn to run once at absolute time at (which must not be in the
@@ -80,7 +231,7 @@ func (e *Engine) At(at ticks.T, fn func(now ticks.T)) {
 		panic("sim: cannot schedule event in the past")
 	}
 	e.events.seq++
-	heap.Push(&e.events, event{at: at, seq: e.events.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.events.seq, fn: fn})
 }
 
 // Stop makes the current Run call return after the present timestamp
@@ -93,10 +244,8 @@ func (e *Engine) Run(until ticks.T) {
 	e.stopped = false
 	for !e.stopped {
 		next := until + 1
-		for _, t := range e.tickers {
-			if t.next < next {
-				next = t.next
-			}
+		if len(e.tickers.items) > 0 && e.tickers.items[0].next < next {
+			next = e.tickers.items[0].next
 		}
 		if len(e.events.items) > 0 && e.events.items[0].at < next {
 			next = e.events.items[0].at
@@ -107,14 +256,14 @@ func (e *Engine) Run(until ticks.T) {
 		}
 		e.now = next
 		for len(e.events.items) > 0 && e.events.items[0].at == next {
-			ev := heap.Pop(&e.events).(event)
+			ev := e.events.pop()
 			ev.fn(next)
 		}
-		for _, t := range e.tickers {
-			if t.next == next {
-				t.next += t.period
-				t.fn(next)
-			}
+		for len(e.tickers.items) > 0 && e.tickers.items[0].next == next {
+			t := e.tickers.items[0].t
+			e.tickers.items[0].next += t.period
+			e.tickers.fix(0)
+			t.fn(next)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"pracsim/internal/ticks"
+)
+
+// BenchmarkEngineDenseTickers is the heap's worst case: 64 tickers
+// firing ~2.3 times per tick on average, so almost every timestep
+// reorders the heap root.
+func BenchmarkEngineDenseTickers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var fired int64
+		for t := 0; t < 64; t++ {
+			e.AddTicker(ticks.T(7+t), ticks.T(t), func(ticks.T) { fired++ })
+		}
+		e.Run(100_000)
+		if fired == 0 {
+			b.Fatal("no ticks")
+		}
+	}
+}
+
+// BenchmarkEngineSparseTickers is the realistic wide-system shape —
+// many mostly-idle periodic timers (per-bank maintenance, refresh
+// windows) where a per-step linear scan pays for every registered
+// ticker while the heap pays only log n for the one that fires.
+func BenchmarkEngineSparseTickers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var fired int64
+		for t := 0; t < 256; t++ {
+			e.AddTicker(ticks.T(1009+7*t), ticks.T(13*t), func(ticks.T) { fired++ })
+		}
+		e.Run(1_000_000)
+		if fired == 0 {
+			b.Fatal("no ticks")
+		}
+	}
+}
+
+// BenchmarkEngineEventChurn measures one-shot scheduling throughput:
+// every fired event schedules the next, so the heap sees a
+// push/pop per step. The concrete-typed heap makes the push
+// allocation-free beyond the closure itself.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		var fired int64
+		var reschedule func(now ticks.T)
+		reschedule = func(now ticks.T) {
+			fired++
+			e.After(3, reschedule)
+		}
+		for k := 0; k < 16; k++ {
+			e.After(ticks.T(k), reschedule)
+		}
+		e.Run(50_000)
+		if fired == 0 {
+			b.Fatal("no events")
+		}
+	}
+}

@@ -110,6 +110,82 @@ func TestZeroPeriodTickerPanics(t *testing.T) {
 	e.AddTicker(0, 0, func(ticks.T) {})
 }
 
+func TestAddTickerOnWarmEngineNeverRewindsTime(t *testing.T) {
+	e := NewEngine()
+	e.Run(100)
+	var first ticks.T = -1
+	e.AddTicker(10, 0, func(now ticks.T) { // stale offset: clamped to Now()
+		if first < 0 {
+			first = now
+		}
+	})
+	e.Run(130)
+	if first != 100 {
+		t.Fatalf("first tick at %v, want 100 (offset clamped to the present)", first)
+	}
+	if e.Now() != 130 {
+		t.Fatalf("Now() = %v, want 130", e.Now())
+	}
+}
+
+func TestRemoveTicker(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	tk := e.AddTicker(10, 0, func(ticks.T) { count++ })
+	e.Run(25) // fires at 0, 10, 20
+	e.RemoveTicker(tk)
+	e.RemoveTicker(tk) // removing twice is a no-op
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3 (removed after deadline 25)", count)
+	}
+}
+
+func TestRemoveOtherTickerKeepsCadence(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var victim *Ticker
+	e.AddTicker(10, 0, func(ticks.T) { fired = append(fired, 0) })
+	victim = e.AddTicker(10, 5, func(ticks.T) { fired = append(fired, 1) })
+	e.AddTicker(10, 0, func(now ticks.T) {
+		fired = append(fired, 2)
+		if now == 10 {
+			e.RemoveTicker(victim)
+		}
+	})
+	e.Run(30) // ticker 1 fires only at 5, removed before its t=15 slot
+	want := []int{0, 2, 1, 0, 2, 0, 2, 0, 2}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTickersFireInRegistrationOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Register in an order that differs from any heap-internal layout.
+	for _, id := range []int{0, 1, 2, 3, 4} {
+		id := id
+		e.AddTicker(10, 0, func(ticks.T) { order = append(order, id) })
+	}
+	e.After(10, func(ticks.T) { order = append(order, -1) }) // events precede tickers
+	e.Run(10)
+	want := []int{0, 1, 2, 3, 4, -1, 0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 // Property: events always fire in timestamp order regardless of insertion
 // order, and all events within the horizon fire exactly once.
 func TestEventOrderProperty(t *testing.T) {

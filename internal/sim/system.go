@@ -331,7 +331,7 @@ func (s *System) runUntilRetired(budget int64, deadline ticks.T) error {
 	}
 	active := len(s.Cores)
 	doneFlags := make([]bool, len(s.Cores))
-	s.Engine.AddTicker(cpu.CyclePeriod, s.Engine.Now(), func(now ticks.T) {
+	coreTicker := s.Engine.AddTicker(cpu.CyclePeriod, s.Engine.Now(), func(now ticks.T) {
 		for i, c := range s.Cores {
 			if doneFlags[i] {
 				continue
@@ -348,17 +348,11 @@ func (s *System) runUntilRetired(budget int64, deadline ticks.T) error {
 	})
 	start := s.Engine.Now()
 	s.Engine.Run(start + deadline)
-	s.dropCoreTicker()
+	s.Engine.RemoveTicker(coreTicker)
 	if active > 0 {
 		return fmt.Errorf("sim: cores did not retire %d instructions within %v", budget, deadline)
 	}
 	return nil
-}
-
-// dropCoreTicker removes the most recently added ticker (the core driver),
-// leaving the controller ticker installed at construction.
-func (s *System) dropCoreTicker() {
-	s.Engine.tickers = s.Engine.tickers[:1]
 }
 
 func diffCtrl(a, b memctrl.Stats) memctrl.Stats {

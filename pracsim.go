@@ -127,11 +127,21 @@ var (
 
 // Experiment reproduction (every evaluation table and figure).
 type (
-	// Scale controls experiment workload and instruction budgets.
+	// Scale controls experiment workload and instruction budgets, plus
+	// the Workers/Serial scheduling knobs. Experiment grids fan out
+	// across GOMAXPROCS goroutines by default; results are assembled
+	// by grid position and are bit-identical at any worker count.
 	Scale = exp.Scale
+	// ExpRunner is a shareable experiment session: experiments run
+	// through one session share a worker pool and a single-flight run
+	// cache, so identical (variant, workload) simulations execute once.
+	ExpRunner = exp.Runner
 )
 
 var (
+	// NewExpRunner returns an experiment session for a scale.
+	NewExpRunner = exp.NewRunner
+
 	// QuickScale is the minutes-scale experiment configuration.
 	QuickScale = exp.QuickScale
 	// FullScale runs the whole 50-workload catalog.
