@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"pracsim/internal/exp"
 	"pracsim/internal/ticks"
@@ -76,11 +77,16 @@ func main() {
 	}
 
 	for _, name := range selected {
+		start := time.Now()
 		res, err := runs[name]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pracleak: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		// Per-experiment wall-clock, so stragglers among the sweeps are
+		// visible (the simulations themselves elide idle cycles; see
+		// README "The clock model").
+		fmt.Printf("%s finished in %.2fs\n", name, time.Since(start).Seconds())
 		fmt.Println(res.Render())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, name+".csv")

@@ -32,6 +32,8 @@ func main() {
 	scaleName := flag.String("scale", "quick", "quick (8 workloads, short budgets) or full (all 50 workloads)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
 	serial := flag.Bool("serial", false, "force single-threaded execution (same results, for debugging)")
+	perCycle := flag.Bool("percycle", false, "tick every component every cycle instead of eliding idle cycles (same results, slower)")
+	differential := flag.Bool("differential", false, "run every simulation under both clockings and fail on any divergence")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 	}
 	scale.Workers = *workers
 	scale.Serial = *serial
+	scale.PerCycle = *perCycle
+	scale.Differential = *differential
 
 	session := exp.NewRunner(scale)
 	runs := map[string]func() (report, error){
@@ -89,4 +93,7 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	// Execution telemetry: aggregate simulation rate, elision wins and the
+	// straggler simulations that dominated the sweep's wall-clock.
+	fmt.Println(session.TelemetryReport(5))
 }

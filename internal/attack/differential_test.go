@@ -1,0 +1,93 @@
+package attack
+
+import (
+	"reflect"
+	"testing"
+
+	"pracsim/internal/dram"
+	"pracsim/internal/memctrl"
+	"pracsim/internal/mitigation"
+	"pracsim/internal/sim"
+	"pracsim/internal/ticks"
+)
+
+// runProbeTrace drives a hammer-then-probe attack trace under the given
+// clocking and returns every recorded latency sample — the raw signal all
+// PRACLeak attacks decode.
+func runProbeTrace(t *testing.T, clock sim.Clocking) []Sample {
+	t.Helper()
+	dcfg := dram.DefaultConfig(128)
+	dcfg.Org.Rows = 1024
+	env, err := NewEnvWithClock(dcfg, memctrl.DefaultConfig(), nil, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := NewProber(env, 0, []int{7}, ticks.FromNS(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer, err := NewHammerer(env, 1, 42, []int{43, 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober.Start()
+	if err := hammer.Hammer(200, nil); err != nil {
+		t.Fatal(err)
+	}
+	env.Run(ticks.FromUS(40))
+	prober.Stop()
+	return prober.Samples
+}
+
+// TestAttackTraceDifferential is the attack-side half of the clocking
+// contract: a hammering sender plus a latency prober — the exact request
+// pattern whose timing PRACLeak measures, with ABO alerts firing at
+// NBO=128 — must observe an identical sample sequence whether the
+// controller ticks every cycle or elides its idle windows.
+func TestAttackTraceDifferential(t *testing.T) {
+	demand := runProbeTrace(t, sim.ClockDemand)
+	perCycle := runProbeTrace(t, sim.ClockPerCycle)
+	if len(demand) == 0 {
+		t.Fatal("attack trace recorded no samples")
+	}
+	if !reflect.DeepEqual(demand, perCycle) {
+		n := len(demand)
+		if len(perCycle) < n {
+			n = len(perCycle)
+		}
+		for i := 0; i < n; i++ {
+			if demand[i] != perCycle[i] {
+				t.Fatalf("sample %d diverges: demand %+v vs per-cycle %+v (lens %d/%d)",
+					i, demand[i], perCycle[i], len(demand), len(perCycle))
+			}
+		}
+		t.Fatalf("sample counts diverge: demand %d vs per-cycle %d", len(demand), len(perCycle))
+	}
+}
+
+// TestQuietPhaseElision pins the attack-side win: a paced prober leaves
+// the controller idle most of the time, and the demand clock must skip
+// those quiet cycles.
+func TestQuietPhaseElision(t *testing.T) {
+	dcfg := dram.DefaultConfig(1024)
+	dcfg.Org.Rows = 1024
+	env, err := NewEnv(dcfg, memctrl.DefaultConfig(), mitigation.NewABOOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober, err := NewProber(env, 0, []int{3}, ticks.FromUS(1)) // 1us pacing: mostly idle
+	if err != nil {
+		t.Fatal(err)
+	}
+	prober.Start()
+	env.Run(ticks.FromUS(100))
+	prober.Stop()
+	total := int64(env.Eng.Now() / memctrl.CyclePeriod)
+	elided := env.ElidedCycles()
+	if elided == 0 {
+		t.Fatal("paced probing elided no controller cycles")
+	}
+	if elided*2 < total {
+		t.Errorf("elided %d of %d controller cycles, want at least half on a paced probe", elided, total)
+	}
+}

@@ -22,11 +22,23 @@ type Env struct {
 	Ctrl   *memctrl.Controller
 	Mod    *dram.Module
 	mapper memctrl.AddressMapper
+	clock  *sim.ControllerClock
 }
 
 // NewEnv wires an environment with the given device config and policy.
 // A nil policy means ABO-Only (the JEDEC default the attacks target).
+// The controller runs demand-clocked: the long quiet phases the attacks
+// measure (pacing gaps, refresh windows, backoff intervals) are skipped
+// instead of ticked through, with bit-identical timing — see
+// NewEnvWithClock and the differential tests.
 func NewEnv(dcfg dram.Config, ccfg memctrl.Config, policy mitigation.Policy) (*Env, error) {
+	return NewEnvWithClock(dcfg, ccfg, policy, sim.ClockDemand)
+}
+
+// NewEnvWithClock is NewEnv with an explicit clocking model, for
+// differential tests that pin demand-clocked attacks against the
+// per-cycle reference.
+func NewEnvWithClock(dcfg dram.Config, ccfg memctrl.Config, policy mitigation.Policy, clock sim.Clocking) (*Env, error) {
 	if policy == nil {
 		policy = mitigation.NewABOOnly()
 	}
@@ -45,9 +57,13 @@ func NewEnv(dcfg dram.Config, ccfg memctrl.Config, policy mitigation.Policy) (*E
 		return nil, err
 	}
 	eng := sim.NewEngine()
-	eng.AddTicker(memctrl.CyclePeriod, 0, func(now ticks.T) { ctrl.Tick(now) })
-	return &Env{Eng: eng, Ctrl: ctrl, Mod: mod, mapper: mapper}, nil
+	cc := sim.NewControllerClock(eng, ctrl, nil, clock)
+	return &Env{Eng: eng, Ctrl: ctrl, Mod: mod, mapper: mapper, clock: cc}, nil
 }
+
+// ElidedCycles reports how many controller cycles demand-driven clocking
+// has skipped so far — attack-side elision telemetry.
+func (e *Env) ElidedCycles() int64 { return e.clock.Elided(e.Eng.Now()) }
 
 // Line returns the cache-line address of (bank, row, col).
 func (e *Env) Line(bank, row, col int) uint64 {

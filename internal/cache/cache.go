@@ -136,6 +136,17 @@ func (c *Cache) AttachIPStride(tableSize, degree int) error {
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// InFlight reports how many MSHRs are occupied by outstanding fetches.
+func (c *Cache) InFlight() int { return len(c.mshrs) }
+
+// NextWork implements the demand-driven clocking protocol for the cache
+// hierarchy: caches are purely reactive — every lookup, fill and
+// writeback runs inside the caller's cycle, and completions are delivered
+// through callbacks — so a cache never schedules work of its own and is
+// always quiescent from the clock's point of view. Outstanding MSHRs
+// (see InFlight) are the downstream clock domain's work, not this one's.
+func (c *Cache) NextWork(ticks.T) ticks.T { return ticks.Never }
+
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -377,3 +377,36 @@ func TestNoDirtyDataLossProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// pendingFetcher accepts fetches but never completes them.
+type pendingFetcher struct{ done []func(ticks.T) }
+
+func (p *pendingFetcher) Fetch(line uint64, now ticks.T, done func(ticks.T)) bool {
+	p.done = append(p.done, done)
+	return true
+}
+func (p *pendingFetcher) WriteBack(uint64, ticks.T) bool { return true }
+
+// TestCacheIsAlwaysQuiescent pins the cache's role in the demand-driven
+// clocking protocol: it never schedules work of its own, even with
+// fetches outstanding — those belong to the downstream clock domain.
+func TestCacheIsAlwaysQuiescent(t *testing.T) {
+	next := &pendingFetcher{}
+	c := smallCache(t, LRU, next)
+	if got := c.NextWork(0); got != ticks.Never {
+		t.Fatalf("NextWork = %v on an empty cache, want Never", got)
+	}
+	if !c.Access(1, false, 0, 0, func(ticks.T) {}) {
+		t.Fatal("access refused")
+	}
+	if got := c.InFlight(); got != 1 {
+		t.Fatalf("InFlight = %d, want 1", got)
+	}
+	if got := c.NextWork(5); got != ticks.Never {
+		t.Fatalf("NextWork = %v with an outstanding fetch, want Never", got)
+	}
+	next.done[0](100)
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after fill, want 0", got)
+	}
+}

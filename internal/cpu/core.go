@@ -48,6 +48,11 @@ type Stats struct {
 	Loads        int64
 	Stores       int64
 	StallCycles  int64 // cycles where issue made no progress
+	// ElidedCycles counts cycles that were accounted (into Cycles and,
+	// when applicable, StallCycles) without being simulated, because
+	// demand-driven clocking proved them to be no-ops. It is telemetry:
+	// all other counters are bit-identical with per-cycle ticking.
+	ElidedCycles int64
 }
 
 // IPC reports retired instructions per cycle.
@@ -81,6 +86,10 @@ type Core struct {
 	offset uint64 // address-space offset in cache lines
 	lines  uint64 // address-space size for wrapping
 
+	lastTick  ticks.T               // previous Tick time, for idle-cycle crediting
+	waker     func(at ticks.T)      // wakes a parked clock when the ROB head's data returns
+	retrySlot func(ticks.T) ticks.T // next cycle a refused memory access can usefully retry
+
 	stats Stats
 }
 
@@ -99,13 +108,14 @@ func New(id int, cfg Config, stream trace.Stream, mem MemPort, offset, lines uin
 		return nil, fmt.Errorf("cpu: core %d has an empty address space", id)
 	}
 	return &Core{
-		id:     id,
-		cfg:    cfg,
-		stream: stream,
-		mem:    mem,
-		rob:    make([]robEntry, cfg.ROBSize),
-		offset: offset,
-		lines:  lines,
+		id:       id,
+		cfg:      cfg,
+		stream:   stream,
+		mem:      mem,
+		rob:      make([]robEntry, cfg.ROBSize),
+		offset:   offset,
+		lines:    lines,
+		lastTick: -CyclePeriod,
 	}, nil
 }
 
@@ -121,11 +131,83 @@ func (c *Core) ResetStats() { c.stats = Stats{} }
 // Done reports whether the trace is exhausted and the pipeline drained.
 func (c *Core) Done() bool { return c.streamDone && c.count == 0 && c.stalled == nil }
 
-// Tick advances the core by one cycle: retire then issue.
+// SetWaker registers fn, invoked when the load blocking the ROB head
+// completes — the event that can turn a fully-stalled core (parked by a
+// demand-driven clock after NextWork returned ticks.Never) runnable again.
+// The argument is the completion time: the first cycle retirement can
+// make progress.
+func (c *Core) SetWaker(fn func(at ticks.T)) { c.waker = fn }
+
+// SetRetrySlot tells the core when a memory access refused at a given
+// cycle can next be retried with any chance of success. Downstream
+// resources (MSHRs, controller queue slots) are only released when the
+// memory controller ticks, so the driving clock injects the controller's
+// cycle grid here. A nil fn (the default) makes NextWork assume a refused
+// access must retry every cycle.
+func (c *Core) SetRetrySlot(fn func(now ticks.T) ticks.T) { c.retrySlot = fn }
+
+// SyncClock aligns the idle-crediting baseline with the driving clock:
+// the next Tick at or before now+CyclePeriod credits no elided cycles.
+// Clock drivers call it when (re)attaching a ticker to the core, so gaps
+// in which the core deliberately did not tick (e.g. between measurement
+// phases after it retired its budget) are not misread as elided idle time.
+func (c *Core) SyncClock(now ticks.T) { c.lastTick = now - CyclePeriod }
+
+// Tick advances the core by one cycle: retire then issue. A gap since the
+// previous Tick is credited as elided idle cycles: demand-driven clocks
+// only skip cycles they have proven would neither retire nor issue, so
+// those cycles contribute exactly what the per-cycle baseline would have
+// counted — one Cycle each, and one StallCycle each while the stream has
+// instructions left.
 func (c *Core) Tick(now ticks.T) {
+	if gap := now - c.lastTick; gap > CyclePeriod {
+		idle := int64((gap - CyclePeriod) / CyclePeriod)
+		c.stats.Cycles += idle
+		c.stats.ElidedCycles += idle
+		if !c.streamDone {
+			c.stats.StallCycles += idle
+		}
+	}
+	c.lastTick = now
 	c.stats.Cycles++
 	c.retire(now)
 	c.issue(now)
+}
+
+// NextWork reports a conservative lower bound on the next time Tick can
+// make progress, assuming no new completions arrive: now+CyclePeriod when
+// the core may progress next cycle, the ROB head's completion time when
+// the core is fully stalled behind a known-latency load, the next useful
+// retry slot when a memory access was refused, or ticks.Never when only
+// an as-yet-unscheduled completion (see SetWaker) can create work. Every
+// cycle strictly before the reported time is provably a no-op, so a
+// demand-driven clock may skip it and credit it via the Tick gap.
+func (c *Core) NextWork(now ticks.T) ticks.T {
+	retireAt := ticks.Never
+	if c.count > 0 {
+		if h := c.rob[c.head].completeAt; h != pendingCompletion {
+			if h <= now {
+				return now + CyclePeriod // retirement progresses next cycle
+			}
+			retireAt = h
+		}
+	}
+	issueAt := ticks.Never
+	if c.count < len(c.rob) {
+		switch {
+		case c.stalled != nil:
+			// A refused access can only succeed after downstream
+			// resources free up; retries before then are no-ops.
+			if c.retrySlot != nil {
+				issueAt = c.retrySlot(now)
+			} else {
+				issueAt = now + CyclePeriod
+			}
+		case !c.streamDone:
+			return now + CyclePeriod // fresh instructions can dispatch
+		}
+	}
+	return ticks.Min(retireAt, issueAt)
 }
 
 func (c *Core) retire(now ticks.T) {
@@ -203,6 +285,11 @@ func (c *Core) dispatch(rec *trace.Record, now ticks.T) bool {
 	e.completeAt = pendingCompletion
 	accepted := c.mem.Access(line, false, rec.PC, now, func(at ticks.T) {
 		e.completeAt = at
+		// Waking matters only when this load gates retirement: a parked
+		// core's head cannot move, so slot identity is stable.
+		if c.waker != nil && slot == c.head {
+			c.waker(at)
+		}
 	})
 	if !accepted {
 		return false

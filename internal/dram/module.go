@@ -196,6 +196,18 @@ func (m *Module) Maintain(now ticks.T) {
 	}
 }
 
+// NextMaintenance reports the next time Maintain will act — the upcoming
+// per-tREFW counter reset — or ticks.Never when no time-driven
+// housekeeping is configured. Demand-driven controller clocks fold this
+// into their wake deadline so a skipped idle window never slides a
+// counter reset to a later cycle than per-cycle polling would have.
+func (m *Module) NextMaintenance(ticks.T) ticks.T {
+	if !m.cfg.PRAC.Enabled || !m.cfg.PRAC.ResetOnREFW {
+		return ticks.Never
+	}
+	return m.nextCounterReset
+}
+
 // CanIssue reports whether cmd is legal at time now under all timing
 // constraints and blocking conditions.
 func (m *Module) CanIssue(cmd Cmd, now ticks.T) bool {

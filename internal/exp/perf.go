@@ -28,6 +28,14 @@ type Scale struct {
 	// Serial forces single-threaded execution (equivalent to
 	// Workers=1); the debugging knob.
 	Serial bool
+
+	// PerCycle forces the reference per-cycle clocking instead of
+	// demand-driven idle elision — the clock-model debugging knob.
+	PerCycle bool
+	// Differential runs every simulation under both clockings and fails
+	// on any divergence: the paranoid validation mode for the elision
+	// machinery, at roughly the cost of both clockings combined.
+	Differential bool
 }
 
 // QuickScale is a minutes-not-days configuration: a representative subset
@@ -160,6 +168,7 @@ type runner struct {
 	scale Scale
 	pool  *pool.Pool
 	cache pool.Cache[runKey, sim.RunResult]
+	tlog  telemetryLog
 }
 
 func newRunner(scale Scale) *runner {
@@ -178,14 +187,24 @@ func (r *runner) run(v Variant, workload string) (sim.RunResult, error) {
 		if err != nil {
 			return sim.RunResult{}, err
 		}
-		sys, err := sim.NewSystem(cfg)
-		if err != nil {
-			return sim.RunResult{}, err
+		if r.scale.PerCycle {
+			cfg.Clock = sim.ClockPerCycle
 		}
-		res, err := sys.Run(r.scale.Warmup, r.scale.Measured)
+		var res sim.RunResult
+		if r.scale.Differential {
+			res, err = sim.RunDifferential(cfg, r.scale.Warmup, r.scale.Measured)
+		} else {
+			var sys *sim.System
+			sys, err = sim.NewSystem(cfg)
+			if err != nil {
+				return sim.RunResult{}, err
+			}
+			res, err = sys.Run(r.scale.Warmup, r.scale.Measured)
+		}
 		if err != nil {
 			return sim.RunResult{}, fmt.Errorf("exp: %s on %s: %w", v.Name, workload, err)
 		}
+		r.tlog.add(RunTelemetry{Variant: v.Name, Workload: workload, T: res.Telemetry})
 		return res, nil
 	})
 }

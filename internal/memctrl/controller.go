@@ -91,7 +91,20 @@ type Controller struct {
 	aboDeadln  ticks.T
 
 	hitStreak []int
-	triedBank []bool
+	// triedBank is issueFrom's per-call "bank already considered" scratch,
+	// stamped with triedGen so resetting it is one counter increment
+	// instead of an O(banks) clear per call.
+	triedBank []uint64
+	triedGen  uint64
+
+	// writeLines counts in-flight writes per line address, so read-after-
+	// write forwarding in Enqueue is a map probe instead of an O(n) scan
+	// of the write queue.
+	writeLines map[uint64]int
+
+	// waker, when set, is called as a request lands in an empty controller
+	// (see SetWaker) so a demand-driven clock can resume ticking.
+	waker func(now ticks.T)
 
 	stats Stats
 }
@@ -109,15 +122,16 @@ func New(cfg Config, mod *dram.Module, mapper AddressMapper, policy mitigation.P
 	}
 	org := mod.Config().Org
 	c := &Controller{
-		cfg:       cfg,
-		mod:       mod,
-		mapper:    mapper,
-		policy:    policy,
-		nextRefAt: make([]ticks.T, org.Ranks),
-		refDebt:   make([]int, org.Ranks),
-		refCount:  make([]int64, org.Ranks),
-		hitStreak: make([]int, org.Banks()),
-		triedBank: make([]bool, org.Banks()),
+		cfg:        cfg,
+		mod:        mod,
+		mapper:     mapper,
+		policy:     policy,
+		nextRefAt:  make([]ticks.T, org.Ranks),
+		refDebt:    make([]int, org.Ranks),
+		refCount:   make([]int64, org.Ranks),
+		hitStreak:  make([]int, org.Banks()),
+		triedBank:  make([]uint64, org.Banks()),
+		writeLines: make(map[uint64]int),
 	}
 	for r := range c.nextRefAt {
 		// Stagger rank refreshes across the tREFI period, as real
@@ -142,6 +156,12 @@ func (c *Controller) Policy() mitigation.Policy { return c.policy }
 // QueueLen reports current read and write queue occupancy.
 func (c *Controller) QueueLen() (reads, writes int) { return len(c.readQ), len(c.writeQ) }
 
+// SetWaker registers fn, invoked when a request is accepted into a
+// previously empty controller — the only event that can create work for a
+// quiescent controller between its self-computed maintenance deadlines.
+// Demand-driven clocks use it to resume a parked controller ticker.
+func (c *Controller) SetWaker(fn func(now ticks.T)) { c.waker = fn }
+
 // Enqueue presents a request to the controller. It reports false when the
 // relevant queue is full; the caller must retry later.
 func (c *Controller) Enqueue(req *Request, now ticks.T) bool {
@@ -152,26 +172,35 @@ func (c *Controller) Enqueue(req *Request, now ticks.T) bool {
 			return false
 		}
 		c.writeQ = append(c.writeQ, req)
+		c.writeLines[req.Line]++
 		c.stats.Writes++
+		c.wakeIfIdle(now)
 		return true
 	}
 	// Read-after-write forwarding: pending writes hold the freshest data.
-	for _, w := range c.writeQ {
-		if w.Line == req.Line {
-			c.stats.Reads++
-			c.stats.WriteForward++
-			if req.OnComplete != nil {
-				req.OnComplete(now + CyclePeriod)
-			}
-			return true
+	if c.writeLines[req.Line] > 0 {
+		c.stats.Reads++
+		c.stats.WriteForward++
+		if req.OnComplete != nil {
+			req.OnComplete(now + CyclePeriod)
 		}
+		return true
 	}
 	if len(c.readQ) >= c.cfg.ReadQueueCap {
 		return false
 	}
 	c.readQ = append(c.readQ, req)
 	c.stats.Reads++
+	c.wakeIfIdle(now)
 	return true
+}
+
+// wakeIfIdle fires the waker when the request just accepted is the only
+// queued work — any other occupancy means the controller is already awake.
+func (c *Controller) wakeIfIdle(now ticks.T) {
+	if c.waker != nil && len(c.readQ)+len(c.writeQ) == 1 {
+		c.waker(now)
+	}
 }
 
 // Tick advances the controller by one cycle; it issues at most one DRAM
@@ -184,6 +213,42 @@ func (c *Controller) Tick(now ticks.T) {
 		return
 	}
 	c.schedule(now)
+}
+
+// NextWork reports a conservative earliest time the controller could
+// possibly have work, assuming no new requests arrive: now+CyclePeriod
+// while any demand or maintenance work is pending (commands may become
+// legal any cycle as timing windows expire), otherwise the earliest
+// time-driven maintenance deadline — refresh accrual, the policy's next
+// scheduled RFM, or the DRAM's next housekeeping action — and ticks.Never
+// when none exists. Every controller cycle strictly before the reported
+// time is provably a no-op, so a demand-driven clock may skip it; a
+// request arriving earlier re-arms the clock through SetWaker.
+func (c *Controller) NextWork(now ticks.T) ticks.T {
+	if len(c.readQ) > 0 || len(c.writeQ) > 0 ||
+		c.rfmPending > 0 || len(c.pbPending) > 0 ||
+		c.aboRFMs > 0 || c.aboQueued || c.aboDeadln != 0 ||
+		c.mod.AlertAsserted() {
+		return now + CyclePeriod
+	}
+	next := ticks.Never
+	if !c.cfg.NoRefresh {
+		for r, d := range c.refDebt {
+			if d > 0 {
+				return now + CyclePeriod
+			}
+			if at := c.nextRefAt[r]; at < next {
+				next = at
+			}
+		}
+	}
+	if at := c.policy.NextDue(now); at < next {
+		next = at
+	}
+	if at := c.mod.NextMaintenance(now); at < next {
+		next = at
+	}
+	return next
 }
 
 // accrueMaintenance updates refresh debt, proactive-RFM debt and the Alert
@@ -380,6 +445,9 @@ func (c *Controller) issueFrom(q *[]*Request, now ticks.T) bool {
 		if c.olderConflict(queue, hitIdx) {
 			c.hitStreak[hit.loc.Bank]++
 		}
+		if hit.Write {
+			c.untrackWrite(hit.Line)
+		}
 		c.remove(q, hitIdx)
 		return true
 	}
@@ -388,16 +456,15 @@ func (c *Controller) issueFrom(q *[]*Request, now ticks.T) bool {
 	// first request that can make progress, considering each bank once.
 	// Requests whose bank is held for pending maintenance or still inside
 	// a timing window must not head-of-line-block younger requests to
-	// other banks (bank-level parallelism).
-	for i := range c.triedBank {
-		c.triedBank[i] = false
-	}
+	// other banks (bank-level parallelism). The scratch set is reset by
+	// bumping the generation stamp, not by clearing the slice.
+	c.triedGen++
 	for _, r := range queue {
 		b := r.loc.Bank
-		if c.triedBank[b] {
+		if c.triedBank[b] == c.triedGen {
 			continue
 		}
-		c.triedBank[b] = true
+		c.triedBank[b] = c.triedGen
 		if c.maintenanceBlocked(b) {
 			continue
 		}
@@ -459,6 +526,17 @@ func (c *Controller) tryColumn(r *Request, now ticks.T) bool {
 		r.OnComplete(res.DataAt)
 	}
 	return true
+}
+
+// untrackWrite drops one in-flight write to line from the forwarding
+// index, deleting the key at zero so the map stays bounded by write-queue
+// occupancy.
+func (c *Controller) untrackWrite(line uint64) {
+	if n := c.writeLines[line]; n > 1 {
+		c.writeLines[line] = n - 1
+	} else {
+		delete(c.writeLines, line)
+	}
 }
 
 func (c *Controller) remove(q *[]*Request, i int) {

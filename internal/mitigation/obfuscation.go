@@ -59,6 +59,16 @@ func (o *Obfuscation) Due(now ticks.T) int {
 	return n
 }
 
+// NextDue implements Policy: the next coin-flip boundary. The flip itself
+// happens in Due at that boundary, so skipping the idle cycles before it
+// consumes the deterministic RNG stream identically to per-cycle polling.
+func (o *Obfuscation) NextDue(now ticks.T) ticks.T {
+	if now >= o.next {
+		return now
+	}
+	return o.next
+}
+
 // OnActivate implements Policy; injection is activity-independent.
 func (o *Obfuscation) OnActivate(int, ticks.T) {}
 

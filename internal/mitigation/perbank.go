@@ -57,6 +57,14 @@ func (p *TPRACPerBank) Issued() int64 { return p.issued }
 // Due implements Policy: TPRACPerBank never requests channel-wide RFMs.
 func (p *TPRACPerBank) Due(ticks.T) int { return 0 }
 
+// NextDue implements Policy: the next slot of the per-bank rotation.
+func (p *TPRACPerBank) NextDue(now ticks.T) ticks.T {
+	if now >= p.next {
+		return now
+	}
+	return p.next
+}
+
 // DuePerBank implements PerBankPolicy: one bank per window/banks interval,
 // in a fixed rotation that is independent of memory activity.
 func (p *TPRACPerBank) DuePerBank(now ticks.T) []int {

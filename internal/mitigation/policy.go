@@ -30,6 +30,14 @@ type Policy interface {
 	// accumulates the result into its pending-RFM budget.
 	Due(now ticks.T) int
 
+	// NextDue reports the earliest future time at which Due (or, for
+	// PerBankPolicy implementations, DuePerBank) can first report new
+	// work, assuming no further activations are observed — the policy's
+	// contribution to the controller's NextWork deadline under
+	// demand-driven clocking. Purely activity-triggered policies return
+	// ticks.Never: an idle channel can never make them due.
+	NextDue(now ticks.T) ticks.T
+
 	// OnActivate informs the policy of an activation to a bank.
 	OnActivate(bank int, now ticks.T)
 
@@ -50,6 +58,9 @@ func (*ABOOnly) Name() string { return "ABO-Only" }
 
 // Due implements Policy; ABO-Only never schedules proactive RFMs.
 func (*ABOOnly) Due(ticks.T) int { return 0 }
+
+// NextDue implements Policy; ABO-Only has no scheduled work, ever.
+func (*ABOOnly) NextDue(ticks.T) ticks.T { return ticks.Never }
 
 // OnActivate implements Policy.
 func (*ABOOnly) OnActivate(int, ticks.T) {}
@@ -100,6 +111,16 @@ func (a *ACB) Due(ticks.T) int {
 	d := a.due
 	a.due = 0
 	return d
+}
+
+// NextDue implements Policy: ACB is purely activation-triggered, so with
+// undrained debt it is due immediately and otherwise never becomes due on
+// an idle channel.
+func (a *ACB) NextDue(now ticks.T) ticks.T {
+	if a.due > 0 {
+		return now
+	}
+	return ticks.Never
 }
 
 // OnTREF implements Policy.
@@ -163,6 +184,15 @@ func (p *TPRAC) Due(now ticks.T) int {
 		p.next += p.window
 	}
 	return n
+}
+
+// NextDue implements Policy: the next TB-Window boundary, independent of
+// activity by construction.
+func (p *TPRAC) NextDue(now ticks.T) ticks.T {
+	if now >= p.next {
+		return now
+	}
+	return p.next
 }
 
 // OnActivate implements Policy. TB-RFM timing must never depend on

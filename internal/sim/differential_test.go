@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestDifferentialDeterminism is the demand-driven clock's contract: for
+// every mitigation variant the performance figures sweep (the Fig 11 /
+// Table 5 grid axes — ABO-Only, ACB, TPRAC with and without TREF
+// co-design, per-bank TPRAC, the no-ABO baseline) the elided clocking
+// must reproduce the per-cycle RunResult bit for bit, on homogeneous and
+// mixed workloads alike.
+func TestDifferentialDeterminism(t *testing.T) {
+	base := func() SystemConfig {
+		cfg := DefaultSystemConfig(1024)
+		cfg.LLCSizeKB = 1024 // unit-test footprint
+		return cfg
+	}
+	cases := []struct {
+		name string
+		cfg  func() SystemConfig
+	}{
+		{"baseline-milc", func() SystemConfig {
+			return base()
+		}},
+		{"abo-only-lbm", func() SystemConfig {
+			cfg := base()
+			cfg.Policy = PolicyABOOnly
+			cfg.Workload = "470.lbm"
+			return cfg
+		}},
+		{"acb-milc", func() SystemConfig {
+			cfg := base()
+			cfg.Policy = PolicyACB
+			cfg.BAT = 64
+			return cfg
+		}},
+		{"tprac-milc", func() SystemConfig {
+			cfg := base()
+			cfg.Policy = PolicyTPRAC
+			cfg.TBWindow = cfg.DRAM.Timing.TREFI
+			return cfg
+		}},
+		{"tprac-tref-mcf", func() SystemConfig {
+			cfg := base()
+			cfg.Policy = PolicyTPRAC
+			cfg.TBWindow = cfg.DRAM.Timing.TREFI / 2
+			cfg.SkipOnTREF = true
+			cfg.Ctrl.TREFEvery = 2
+			cfg.Workload = "429.mcf"
+			return cfg
+		}},
+		{"tprac-perbank-milc", func() SystemConfig {
+			cfg := base()
+			cfg.Policy = PolicyTPRACpb
+			cfg.TBWindow = cfg.DRAM.Timing.TREFI
+			return cfg
+		}},
+		{"mixed-workloads", func() SystemConfig {
+			cfg := base()
+			cfg.WorkloadMix = []string{"433.milc", "444.namd", "401.bzip2", "470.lbm"}
+			return cfg
+		}},
+		{"compute-bound-namd", func() SystemConfig {
+			cfg := base()
+			cfg.Workload = "444.namd"
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunDifferential(tc.cfg(), 2000, 6000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Instructions == 0 {
+				t.Fatal("differential run retired nothing")
+			}
+			if res.Telemetry.Clock != ClockDemand.String() {
+				t.Errorf("returned result is %q-clocked, want the demand run", res.Telemetry.Clock)
+			}
+		})
+	}
+}
+
+// TestElisionReducesEngineSteps pins the acceptance criterion: on an
+// idle-heavy (memory-bound) workload, demand-driven clocking must process
+// at least 2x fewer engine timesteps than per-cycle ticking while
+// producing the identical result, and must report the skipped cycles.
+func TestElisionReducesEngineSteps(t *testing.T) {
+	run := func(clock Clocking) RunResult {
+		cfg := DefaultSystemConfig(1024)
+		cfg.Workload = "433.milc" // high-MPKI: cores spend most cycles stalled
+		cfg.Clock = clock
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run(2000, 8000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	demand := run(ClockDemand)
+	perCycle := run(ClockPerCycle)
+	if diff := DiffResults(demand, perCycle); diff != "" {
+		t.Fatalf("clockings diverge: %s", diff)
+	}
+	ds, ps := demand.Telemetry.EngineSteps, perCycle.Telemetry.EngineSteps
+	if ds <= 0 || ps <= 0 {
+		t.Fatalf("missing engine-step telemetry: demand %d, per-cycle %d", ds, ps)
+	}
+	if ds*2 > ps {
+		t.Errorf("demand clocking processed %d steps vs %d per-cycle: less than the required 2x reduction", ds, ps)
+	}
+	if demand.Telemetry.ElidedCycles() == 0 {
+		t.Error("no skipped cycles reported on a memory-bound workload")
+	}
+	if perCycle.Telemetry.ElidedCycles() != 0 {
+		t.Errorf("per-cycle run reports %d elided cycles, want 0", perCycle.Telemetry.ElidedCycles())
+	}
+	if perCycle.Telemetry.Clock != "per-cycle" || demand.Telemetry.Clock != "demand" {
+		t.Errorf("clock labels: %q / %q", demand.Telemetry.Clock, perCycle.Telemetry.Clock)
+	}
+}
+
+// TestTelemetryPopulated checks the straggler-visibility fields.
+func TestTelemetryPopulated(t *testing.T) {
+	cfg := DefaultSystemConfig(1024)
+	cfg.LLCSizeKB = 1024
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(1000, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Telemetry
+	if tl.WallNS <= 0 {
+		t.Errorf("WallNS = %d, want > 0", tl.WallNS)
+	}
+	if tl.SimTicks <= 0 || tl.SimTicks < res.MeasuredTime {
+		t.Errorf("SimTicks = %v, want >= measured interval %v", tl.SimTicks, res.MeasuredTime)
+	}
+	if tl.TicksPerSec <= 0 {
+		t.Errorf("TicksPerSec = %v, want > 0", tl.TicksPerSec)
+	}
+	if tl.EngineSteps <= 0 || tl.EngineSteps > int64(tl.SimTicks)+1 {
+		t.Errorf("EngineSteps = %d outside (0, %d]", tl.EngineSteps, int64(tl.SimTicks)+1)
+	}
+}
+
+// TestDiffResultsReportsFields exercises the mismatch rendering.
+func TestDiffResultsReportsFields(t *testing.T) {
+	a := RunResult{Cycles: 10, Instructions: 5}
+	b := RunResult{Cycles: 11, Instructions: 5}
+	if d := DiffResults(a, b); d == "" {
+		t.Fatal("differing results compared equal")
+	} else if want := "Cycles: 10 != 11"; d != want {
+		t.Errorf("diff = %q, want %q", d, want)
+	}
+	// Telemetry must never trip the comparison.
+	a.Telemetry = Telemetry{WallNS: 123, EngineSteps: 7}
+	b = a
+	b.Cycles = 10
+	b.Telemetry = Telemetry{WallNS: 456}
+	if d := DiffResults(a, b); d != "" {
+		t.Errorf("telemetry-only difference reported: %s", d)
+	}
+}

@@ -23,14 +23,18 @@ type Engine struct {
 	events  eventHeap
 	nextID  int
 	stopped bool
+	steps   int64
+	firing  int // id of the ticker currently running its callback, -1 otherwise
 }
 
 // Ticker is a handle to a periodic callback, returned by AddTicker and
-// accepted by RemoveTicker.
+// accepted by RemoveTicker, PauseTicker and RescheduleTicker.
 type Ticker struct {
 	period ticks.T
-	id     int // registration order; break ties at equal fire times
-	pos    int // index in the ticker heap, -1 once removed
+	phase  ticks.T // first fire time mod period: the ticker's cycle grid
+	id     int     // registration order; break ties at equal fire times
+	pos    int     // index in the ticker heap, -1 while paused or removed
+	paused bool    // parked by PauseTicker: off the heap but resumable
 	fn     func(now ticks.T)
 }
 
@@ -192,10 +196,16 @@ func (h *tickerHeap) remove(t *Ticker) {
 }
 
 // NewEngine returns an engine at time zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine { return &Engine{firing: -1} }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() ticks.T { return e.now }
+
+// Steps reports how many distinct timesteps Run has processed — the
+// engine-work metric that demand-driven clocking shrinks. A per-cycle
+// system pays one step per cycle; an eliding system pays one step per
+// cycle in which some component actually had work.
+func (e *Engine) Steps() int64 { return e.steps }
 
 // AddTicker registers fn to run every period ticks, starting at time offset
 // (clamped to the present on a warm engine, so time never runs backwards),
@@ -209,14 +219,75 @@ func (e *Engine) AddTicker(period, offset ticks.T, fn func(now ticks.T)) *Ticker
 	if offset < e.now {
 		offset = e.now
 	}
-	t := &Ticker{period: period, id: e.nextID, fn: fn}
+	t := &Ticker{period: period, phase: offset % period, id: e.nextID, fn: fn}
 	e.nextID++
 	e.tickers.push(t, offset)
 	return t
 }
 
-// RemoveTicker cancels a ticker; removing one twice is a no-op.
-func (e *Engine) RemoveTicker(t *Ticker) { e.tickers.remove(t) }
+// RemoveTicker cancels a ticker; removing one twice, or removing a paused
+// ticker, is safe.
+func (e *Engine) RemoveTicker(t *Ticker) {
+	t.paused = false
+	e.tickers.remove(t)
+}
+
+// PauseTicker parks a ticker: it leaves the schedule but stays resumable
+// via RescheduleTicker. Pausing an already-paused or removed ticker is a
+// no-op. Components use this when they are quiescent with no computable
+// deadline — a wakeup event must call RescheduleTicker to re-arm them.
+func (e *Engine) PauseTicker(t *Ticker) {
+	if t.pos < 0 {
+		return
+	}
+	e.tickers.remove(t)
+	t.paused = true
+}
+
+// RescheduleTicker moves t's next fire to the earliest slot of its period
+// grid at or after at that this timestep has not already passed. Fire
+// times stay congruent to the ticker's original offset modulo its period,
+// so a rescheduled ticker fires exactly where the per-cycle baseline
+// would have ticked; and a slot at the current timestep whose turn in
+// registration order has already gone by is never reused, so wakeups
+// triggered by later-registered tickers land on the next slot — again
+// exactly what a ticker that had been ticking all along would observe.
+//
+// It serves both directions: deferring past provably-idle cycles
+// (fast-forward) and pulling a deferred or paused ticker back up when an
+// event creates work (wakeup). Rescheduling a removed ticker is a no-op.
+func (e *Engine) RescheduleTicker(t *Ticker, at ticks.T) {
+	next := e.nextSlot(t, at)
+	switch {
+	case t.paused:
+		t.paused = false
+		e.tickers.push(t, next)
+	case t.pos >= 0:
+		e.tickers.items[t.pos].next = next
+		e.tickers.fix(t.pos)
+	}
+}
+
+// nextSlot computes the earliest grid-aligned fire time >= at that has
+// not already been passed over during the current timestep.
+func (e *Engine) nextSlot(t *Ticker, at ticks.T) ticks.T {
+	if at < e.now {
+		at = e.now
+	}
+	next := at
+	if rem := (next - t.phase) % t.period; rem < 0 {
+		next -= rem // before the grid anchor: clamp up to it
+	} else if rem != 0 {
+		next += t.period - rem
+	}
+	if next == e.now && e.firing >= 0 && t.id < e.firing {
+		// The tick phase of this timestep already moved past t's slot
+		// (tickers fire in registration order): the per-cycle baseline
+		// would next serve t one period later.
+		next += t.period
+	}
+	return next
+}
 
 // After schedules fn to run once, delay ticks from now.
 func (e *Engine) After(delay ticks.T, fn func(now ticks.T)) {
@@ -255,6 +326,7 @@ func (e *Engine) Run(until ticks.T) {
 			return
 		}
 		e.now = next
+		e.steps++
 		for len(e.events.items) > 0 && e.events.items[0].at == next {
 			ev := e.events.pop()
 			ev.fn(next)
@@ -263,7 +335,9 @@ func (e *Engine) Run(until ticks.T) {
 			t := e.tickers.items[0].t
 			e.tickers.items[0].next += t.period
 			e.tickers.fix(0)
+			e.firing = t.id
 			t.fn(next)
 		}
+		e.firing = -1
 	}
 }

@@ -43,6 +43,40 @@ func BenchmarkEngineSparseTickers(b *testing.B) {
 	}
 }
 
+// benchmarkSystemClock runs the paper's system on a memory-bound
+// workload under one clocking and reports engine steps and elided cycles
+// as metrics — the idle-heavy regime demand-driven clocking targets.
+func benchmarkSystemClock(b *testing.B, clock Clocking) {
+	b.ReportAllocs()
+	var steps, elided, perCycleSteps int64
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultSystemConfig(1024)
+		cfg.Workload = "433.milc"
+		cfg.Clock = clock
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(5_000, 15_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Telemetry.EngineSteps
+		elided += res.Telemetry.ElidedCycles()
+		perCycleSteps += int64(res.Telemetry.SimTicks)
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "engine-steps")
+	b.ReportMetric(float64(elided)/float64(b.N), "elided-cycles")
+	b.ReportMetric(float64(perCycleSteps)/float64(steps), "step-reduction-x")
+}
+
+// BenchmarkEngineElisionDemand vs BenchmarkEngineElisionPerCycle is the
+// acceptance pair: on an idle-heavy workload the demand clocking must
+// show >= 2x fewer engine steps (see step-reduction-x) at bit-identical
+// output (TestDifferentialDeterminism).
+func BenchmarkEngineElisionDemand(b *testing.B)   { benchmarkSystemClock(b, ClockDemand) }
+func BenchmarkEngineElisionPerCycle(b *testing.B) { benchmarkSystemClock(b, ClockPerCycle) }
+
 // BenchmarkEngineEventChurn measures one-shot scheduling throughput:
 // every fired event schedules the next, so the heap sees a
 // push/pop per step. The concrete-typed heap makes the push

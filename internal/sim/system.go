@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"pracsim/internal/cache"
 	"pracsim/internal/cpu"
@@ -73,6 +74,10 @@ type SystemConfig struct {
 	MapperXOR   bool
 	Workload    string // catalog name; all cores run copies (homogeneous mix)
 	WorkloadMix []string
+
+	// Clock selects the clocking model; the zero value is ClockDemand
+	// (idle-cycle elision). Results are bit-identical across clockings.
+	Clock Clocking
 }
 
 // DefaultSystemConfig returns the paper's evaluated system at a given
@@ -111,7 +116,9 @@ type System struct {
 	Ctrl   *memctrl.Controller
 	Mod    *dram.Module
 
-	cfg SystemConfig
+	cfg       SystemConfig
+	elide     bool
+	ctrlClock *ControllerClock
 }
 
 // memAdapter bridges the LLC to the memory controller, buffering refused
@@ -185,7 +192,11 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 
-	sys := &System{Engine: eng, LLC: llc, Ctrl: ctrl, Mod: mod, cfg: cfg}
+	sys := &System{
+		Engine: eng, LLC: llc, Ctrl: ctrl, Mod: mod,
+		cfg:   cfg,
+		elide: cfg.Clock != ClockPerCycle,
+	}
 
 	names := cfg.WorkloadMix
 	if len(names) == 0 {
@@ -241,10 +252,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		sys.L2s = append(sys.L2s, l2)
 	}
 
-	eng.AddTicker(memctrl.CyclePeriod, 0, func(now ticks.T) {
+	// The controller clock domain: the adapter's writeback retry runs
+	// before each controller tick, and buffered writebacks veto parking.
+	sys.ctrlClock = NewControllerClock(eng, ctrl, func(now ticks.T) bool {
 		adapter.retry(now)
-		ctrl.Tick(now)
-	})
+		return len(adapter.pendingWB) == 0
+	}, cfg.Clock)
+	for _, core := range sys.Cores {
+		core.SetRetrySlot(sys.ctrlClock.RetrySlot)
+	}
 	return sys, nil
 }
 
@@ -263,6 +279,26 @@ func buildPolicy(cfg SystemConfig, dcfg dram.Config) (mitigation.Policy, error) 
 	}
 }
 
+// Telemetry describes how a simulation executed — wall-clock cost,
+// simulated-time throughput and idle-elision wins. It is the one part of
+// a RunResult that legitimately varies between clockings, worker counts
+// and machines; DiffResults ignores it.
+type Telemetry struct {
+	WallNS      int64   // wall-clock duration of the whole Run (warmup + measured)
+	SimTicks    ticks.T // simulated time the Run advanced
+	TicksPerSec float64 // simulated ticks per wall-clock second
+	EngineSteps int64   // engine timesteps actually processed
+	// ElidedCoreCycles and ElidedCtrlCycles count cycles that
+	// demand-driven clocking accounted without simulating (zero under
+	// ClockPerCycle).
+	ElidedCoreCycles int64
+	ElidedCtrlCycles int64
+	Clock            string
+}
+
+// ElidedCycles reports the total skipped-cycle count across clock domains.
+func (t Telemetry) ElidedCycles() int64 { return t.ElidedCoreCycles + t.ElidedCtrlCycles }
+
 // RunResult summarizes one measured simulation interval.
 type RunResult struct {
 	Policy       string
@@ -274,6 +310,7 @@ type RunResult struct {
 	Ctrl         memctrl.Stats
 	DRAM         dram.Stats
 	MeasuredTime ticks.T
+	Telemetry    Telemetry
 }
 
 // Run executes warmup then measured instructions on every core and reports
@@ -285,6 +322,12 @@ func (s *System) Run(warmup, measured int64) (RunResult, error) {
 	}
 	deadline := ticks.FromMS(500)
 
+	wallStart := time.Now()
+	runStart := s.Engine.Now()
+	stepsBase := s.Engine.Steps()
+	ctrlElidedBase := s.ctrlClock.Elided(runStart)
+	var coreElided int64
+
 	target := warmup
 	if target > 0 {
 		if err := s.runUntilRetired(target, deadline); err != nil {
@@ -295,6 +338,7 @@ func (s *System) Run(warmup, measured int64) (RunResult, error) {
 	dramBase := s.Mod.Stats()
 	startTime := s.Engine.Now()
 	for _, c := range s.Cores {
+		coreElided += c.Stats().ElidedCycles
 		c.ResetStats()
 	}
 
@@ -307,6 +351,21 @@ func (s *System) Run(warmup, measured int64) (RunResult, error) {
 		MeasuredTime: s.Engine.Now() - startTime,
 		Ctrl:         diffCtrl(s.Ctrl.Stats(), ctrlBase),
 		DRAM:         diffDRAM(s.Mod.Stats(), dramBase),
+	}
+	end := s.Engine.Now()
+	for _, c := range s.Cores {
+		coreElided += c.Stats().ElidedCycles
+	}
+	res.Telemetry = Telemetry{
+		WallNS:           time.Since(wallStart).Nanoseconds(),
+		SimTicks:         end - runStart,
+		EngineSteps:      s.Engine.Steps() - stepsBase,
+		ElidedCoreCycles: coreElided,
+		ElidedCtrlCycles: s.ctrlClock.Elided(end) - ctrlElidedBase,
+		Clock:            s.cfg.Clock.String(),
+	}
+	if secs := float64(res.Telemetry.WallNS) / 1e9; secs > 0 {
+		res.Telemetry.TicksPerSec = float64(res.Telemetry.SimTicks) / secs
 	}
 	for _, c := range s.Cores {
 		st := c.Stats()
@@ -323,32 +382,59 @@ func (s *System) Run(warmup, measured int64) (RunResult, error) {
 }
 
 // runUntilRetired ticks all cores until each has retired at least budget
-// instructions beyond its current count.
+// instructions beyond its current count. Each core gets its own ticker
+// (registered in core order, so same-cycle ticks keep the classic
+// controller-then-cores, core-0-first sequence); under demand-driven
+// clocking a core whose NextWork lies beyond the next cycle is deferred
+// to that time, or parked entirely until the load blocking its ROB head
+// completes. Skipped cycles are credited inside cpu.Tick, so core
+// statistics are bit-identical with per-cycle ticking.
 func (s *System) runUntilRetired(budget int64, deadline ticks.T) error {
-	targets := make([]int64, len(s.Cores))
-	for i, c := range s.Cores {
-		targets[i] = c.Stats().Instructions + budget
-	}
+	start := s.Engine.Now()
 	active := len(s.Cores)
-	doneFlags := make([]bool, len(s.Cores))
-	coreTicker := s.Engine.AddTicker(cpu.CyclePeriod, s.Engine.Now(), func(now ticks.T) {
-		for i, c := range s.Cores {
-			if doneFlags[i] {
-				continue
-			}
+	tickers := make([]*Ticker, len(s.Cores))
+	for i, c := range s.Cores {
+		i, c := i, c
+		target := c.Stats().Instructions + budget
+		c.SyncClock(start)
+		tickers[i] = s.Engine.AddTicker(cpu.CyclePeriod, start, func(now ticks.T) {
 			c.Tick(now)
-			if c.Stats().Instructions >= targets[i] {
-				doneFlags[i] = true
+			if c.Stats().Instructions >= target {
+				// Done: stop ticking this core for the rest of the phase.
+				s.Engine.RemoveTicker(tickers[i])
 				active--
 				if active == 0 {
 					s.Engine.Stop()
 				}
+				return
 			}
+			if !s.elide {
+				return
+			}
+			if next := c.NextWork(now); next > now+cpu.CyclePeriod {
+				if next == ticks.Never {
+					s.Engine.PauseTicker(tickers[i])
+				} else {
+					s.Engine.RescheduleTicker(tickers[i], next)
+				}
+			}
+		})
+		if s.elide {
+			c.SetWaker(func(at ticks.T) {
+				// The ticker's own paused flag is the park state:
+				// RescheduleTicker clears it, and a removed (done)
+				// ticker is never paused, so stale wakes no-op.
+				if tickers[i].paused {
+					s.Engine.RescheduleTicker(tickers[i], at)
+				}
+			})
 		}
-	})
-	start := s.Engine.Now()
+	}
 	s.Engine.Run(start + deadline)
-	s.Engine.RemoveTicker(coreTicker)
+	for i := range tickers {
+		s.Engine.RemoveTicker(tickers[i])
+		s.Cores[i].SetWaker(nil)
+	}
 	if active > 0 {
 		return fmt.Errorf("sim: cores did not retire %d instructions within %v", budget, deadline)
 	}

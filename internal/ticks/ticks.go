@@ -10,6 +10,11 @@ import "fmt"
 // T is a point in simulated time, or a duration, measured in ticks.
 type T int64
 
+// Never is a point in time later than any reachable simulation instant.
+// Components report it from their NextWork methods to mean "quiescent: I
+// have no self-scheduled future work; wake me by event only".
+const Never = T(1<<63 - 1)
+
 // PerNS is the number of ticks in one nanosecond.
 const PerNS = 4
 
