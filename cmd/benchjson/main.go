@@ -26,9 +26,14 @@ type Result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the whole document.
+// Report is the whole document. Store holds the run-store counters
+// (hits, misses, bytes) summed across every benchmark that reports
+// `store_*` custom metrics, so the store's cache behavior is a
+// first-class, diffable quantity in the bench artifact rather than
+// buried per-benchmark.
 type Report struct {
 	Package map[string][]Result `json:"benchmarks"` // keyed by pkg path
+	Store   map[string]float64  `json:"store,omitempty"`
 }
 
 func parse(lines []string) Report {
@@ -57,6 +62,12 @@ func parse(lines []string) Report {
 				continue
 			}
 			res.Metrics[fields[i+1]] = v
+			if name, ok := strings.CutPrefix(fields[i+1], "store_"); ok {
+				if rep.Store == nil {
+					rep.Store = map[string]float64{}
+				}
+				rep.Store[name] += v
+			}
 		}
 		rep.Package[pkg] = append(rep.Package[pkg], res)
 	}

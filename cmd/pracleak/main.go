@@ -4,11 +4,15 @@
 // The sweeps (panels of Figure 3, Table 2's channel configurations, the
 // key values of Figures 5 and 9) are independent simulations and fan out
 // across all cores; -workers caps that concurrency. Results never depend
-// on the worker count.
+// on the worker count. Each experiment's whole result is memoized in the
+// persistent run store (-store, on by default), keyed by experiment
+// parameters and the simulator schema version, so a warm rerun executes
+// no simulations and reproduces byte-identical reports.
 //
 // Usage:
 //
-//	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-workers N] [-csvdir DIR]
+//	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-workers N]
+//	         [-store DIR|auto|off] [-csvdir DIR]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"time"
 
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/store"
 	"pracsim/internal/ticks"
 )
 
@@ -27,12 +32,25 @@ type report interface {
 	CSV() string
 }
 
+// memo adapts exp.Memo to the report interface: the concrete result is
+// memoized (content-addressed by key), the caller sees a report.
+func memo[T report](st *store.Store, key string, fn func() (T, error)) (report, error) {
+	return exp.Memo(st, key, fn)
+}
+
 func main() {
 	which := flag.String("exp", "all", "experiment: fig3, table2, fig4, fig5, fig9 or all")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for fast runs")
 	workers := flag.Int("workers", 0, "concurrent sweep simulations (0 = all cores, 1 = serial)")
+	storeMode := flag.String("store", "auto", "persistent result store: a directory, 'auto' (user cache dir) or 'off'")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
+
+	st, err := store.OpenMode(*storeMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pracleak: %v\n", err)
+		os.Exit(1)
+	}
 
 	runs := map[string]func() (report, error){
 		"fig3": func() (report, error) {
@@ -40,29 +58,41 @@ func main() {
 			if *quick {
 				d = ticks.FromUS(200)
 			}
-			return exp.RunFig3(d, *workers)
+			return memo(st, fmt.Sprintf("pracleak/fig3/dur=%d", d), func() (exp.Fig3Result, error) {
+				return exp.RunFig3(d, *workers)
+			})
 		},
 		"table2": func() (report, error) {
 			symbols := 64
 			if *quick {
 				symbols = 8
 			}
-			return exp.RunTable2(symbols, *workers)
+			return memo(st, fmt.Sprintf("pracleak/table2/symbols=%d", symbols), func() (exp.Table2Result, error) {
+				return exp.RunTable2(symbols, *workers)
+			})
 		},
-		"fig4": func() (report, error) { return exp.RunFig4(200) },
+		"fig4": func() (report, error) {
+			return memo(st, "pracleak/fig4/enc=200", func() (exp.Fig4Result, error) {
+				return exp.RunFig4(200)
+			})
+		},
 		"fig5": func() (report, error) {
 			stride := 4
 			if *quick {
 				stride = 32
 			}
-			return exp.RunFig5(200, stride, *workers)
+			return memo(st, fmt.Sprintf("pracleak/fig5/enc=200/stride=%d", stride), func() (exp.Fig5Result, error) {
+				return exp.RunFig5(200, stride, *workers)
+			})
 		},
 		"fig9": func() (report, error) {
 			stride := 8
 			if *quick {
 				stride = 64
 			}
-			return exp.RunFig9(200, stride, *workers)
+			return memo(st, fmt.Sprintf("pracleak/fig9/enc=200/stride=%d", stride), func() (exp.Fig9Result, error) {
+				return exp.RunFig9(200, stride, *workers)
+			})
 		},
 	}
 	order := []string{"fig3", "table2", "fig4", "fig5", "fig9"}
@@ -85,7 +115,8 @@ func main() {
 		}
 		// Per-experiment wall-clock, so stragglers among the sweeps are
 		// visible (the simulations themselves elide idle cycles; see
-		// README "The clock model").
+		// README "The clock model"). A store-warm experiment reports
+		// milliseconds here.
 		fmt.Printf("%s finished in %.2fs\n", name, time.Since(start).Seconds())
 		fmt.Println(res.Render())
 		if *csvDir != "" {
@@ -96,5 +127,8 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
+	}
+	if st != nil {
+		fmt.Println(st.Stats().Report(st.Dir()))
 	}
 }

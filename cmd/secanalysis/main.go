@@ -1,11 +1,13 @@
 // Command secanalysis runs the TPRAC security analysis: the Figure 7 TMAX
 // sweep, the solved TB-Window per RowHammer threshold (solved in parallel
 // across thresholds), and (optionally) an empirical Feinting attack
-// validating a solved window against the live simulator.
+// validating a solved window against the live simulator. The Figure 7
+// result is memoized in the persistent run store (-store, on by
+// default); the empirical validation always runs live.
 //
 // Usage:
 //
-//	secanalysis [-empirical] [-nbo N] [-csvdir DIR]
+//	secanalysis [-empirical] [-nbo N] [-store DIR|auto|off] [-csvdir DIR]
 package main
 
 import (
@@ -17,19 +19,31 @@ import (
 	"pracsim/internal/analysis"
 	"pracsim/internal/dram"
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/store"
 	"pracsim/internal/ticks"
 )
 
 func main() {
 	empirical := flag.Bool("empirical", false, "also run a live Feinting attack against the solved window")
 	nbo := flag.Int("nbo", 256, "Back-Off threshold for the empirical validation")
+	storeMode := flag.String("store", "auto", "persistent result store: a directory, 'auto' (user cache dir) or 'off'")
 	csvDir := flag.String("csvdir", "", "directory to write fig7.csv into (optional)")
 	flag.Parse()
 
-	res, err := exp.RunFig7()
+	st, err := store.OpenMode(*storeMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secanalysis:", err)
 		os.Exit(1)
+	}
+	res, err := exp.Memo(st, "secanalysis/fig7", func() (exp.Fig7Result, error) {
+		return exp.RunFig7()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "secanalysis:", err)
+		os.Exit(1)
+	}
+	if st != nil {
+		fmt.Println(st.Stats().Report(st.Dir()))
 	}
 	fmt.Println(res.Render())
 	if *csvDir != "" {

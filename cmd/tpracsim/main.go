@@ -3,14 +3,24 @@
 // CSV files.
 //
 // All experiments share one session: independent (variant, workload)
-// simulations fan out across -workers goroutines, and the session's
+// simulations fan out across -workers goroutines, the session's
 // single-flight run cache means -exp all never executes the same
-// configuration twice (e.g. Table 5 reuses Figure 13's TPRAC runs).
+// configuration twice (e.g. Table 5 reuses Figure 13's TPRAC runs), and
+// the persistent run store (-store, on by default) memoizes results
+// across invocations — a warm second run executes zero new simulations
+// and reproduces byte-identical figures.
+//
+// Grids also shard across machines: -shard i/n executes only the i-th
+// deterministic slice of the run keys and writes the results to a shard
+// file (-shardout); -merge imports the shard files and assembles the
+// figures without simulating, bit-identical to an unsharded run.
 //
 // Usage:
 //
 //	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|rfmpb|all
-//	         [-scale quick|full] [-workers N] [-serial] [-csvdir DIR]
+//	         [-scale quick|full] [-workers N] [-serial]
+//	         [-store DIR|auto|off] [-shard i/n [-shardout FILE]]
+//	         [-merge FILE,FILE,...] [-csvdir DIR]
 package main
 
 import (
@@ -18,8 +28,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/shard"
+	"pracsim/internal/exp/store"
 )
 
 type report interface {
@@ -34,6 +47,10 @@ func main() {
 	serial := flag.Bool("serial", false, "force single-threaded execution (same results, for debugging)")
 	perCycle := flag.Bool("percycle", false, "tick every component every cycle instead of eliding idle cycles (same results, slower)")
 	differential := flag.Bool("differential", false, "run every simulation under both clockings and fail on any divergence")
+	storeMode := flag.String("store", "auto", "persistent run store: a directory, 'auto' (user cache dir) or 'off'")
+	shardArg := flag.String("shard", "", "execute only shard i/n of the run keys and write a shard file instead of reports")
+	shardOut := flag.String("shardout", "", "shard result file to write (default shard-i-of-n.runs)")
+	mergeArg := flag.String("merge", "", "comma-separated shard files to import before running")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -52,7 +69,33 @@ func main() {
 	scale.PerCycle = *perCycle
 	scale.Differential = *differential
 
-	session := exp.NewRunner(scale)
+	st, err := store.OpenMode(*storeMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
+		os.Exit(1)
+	}
+	var sp shard.Spec
+	if *shardArg != "" {
+		if sp, err = shard.Parse(*shardArg); err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
+			os.Exit(2)
+		}
+		if *shardOut == "" {
+			*shardOut = fmt.Sprintf("shard-%d-of-%d.runs", sp.Index, sp.Count)
+		}
+	}
+
+	session := exp.NewRunnerWith(scale, exp.SessionOptions{Store: st, Shard: sp})
+	if *mergeArg != "" {
+		files := strings.Split(*mergeArg, ",")
+		n, err := session.ImportShards(files...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: merging shards: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d runs from %d shard file(s)\n", n, len(files))
+	}
+
 	runs := map[string]func() (report, error){
 		"fig10":  func() (report, error) { return session.Fig10() },
 		"fig11":  func() (report, error) { return session.Fig11() },
@@ -75,14 +118,20 @@ func main() {
 
 	for _, name := range selected {
 		fmt.Printf("running %s at %s scale...\n", name, *scaleName)
-		before := session.CachedRuns()
+		before := session.Executed()
 		res, err := runs[name]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tpracsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%d new simulations; session cache holds %d)\n",
-			session.CachedRuns()-before, session.CachedRuns())
+			session.Executed()-before, session.CachedRuns())
+		if sp.Count > 0 {
+			// A sharded session computes only its slice of the grid;
+			// its figures are partial by design and are rendered by the
+			// merge invocation instead.
+			continue
+		}
 		fmt.Println(res.Render())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, name+".csv")
@@ -93,7 +142,17 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
-	// Execution telemetry: aggregate simulation rate, elision wins and the
-	// straggler simulations that dominated the sweep's wall-clock.
+	if sp.Count > 0 {
+		n, err := session.ExportShard(*shardOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("shard %s: %d runs (%d executed, rest store-warm), wrote %s\n",
+			sp, n, session.Executed(), *shardOut)
+	}
+	// Execution telemetry: store traffic, aggregate simulation rate,
+	// elision wins and the straggler simulations that dominated the
+	// sweep's wall-clock.
 	fmt.Println(session.TelemetryReport(5))
 }

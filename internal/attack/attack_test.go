@@ -351,3 +351,28 @@ func TestEnvValidation(t *testing.T) {
 		t.Error("double hammer accepted")
 	}
 }
+
+// TestRetryAtAlignsToControllerGrid: a refused access deferred through
+// RetryAt must land on the controller's next cycle slot — strictly after
+// now, never off-grid — whether now is grid-aligned or not.
+func TestRetryAtAlignsToControllerGrid(t *testing.T) {
+	env := newTestEnv(t, 1<<20)
+	for _, offset := range []ticks.T{0, 1, 3, memctrl.CyclePeriod, memctrl.CyclePeriod + 2} {
+		env.Run(env.Eng.Now() + memctrl.CyclePeriod) // make room to advance
+		target := env.Eng.Now() + offset
+		var firedAt ticks.T = -1
+		env.Eng.At(target, func(ticks.T) {
+			env.RetryAt(func() { firedAt = env.Eng.Now() })
+		})
+		env.Run(target + 4*memctrl.CyclePeriod)
+		if firedAt < 0 {
+			t.Fatalf("offset %d: retry never fired", offset)
+		}
+		if firedAt <= target || firedAt%memctrl.CyclePeriod != 0 {
+			t.Errorf("offset %d: retry fired at %d (refused at %d) — not the next grid slot", offset, firedAt, target)
+		}
+		if firedAt-target > memctrl.CyclePeriod {
+			t.Errorf("offset %d: retry fired %d ticks late", offset, firedAt-target)
+		}
+	}
+}

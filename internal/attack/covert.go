@@ -397,7 +397,7 @@ func runCountReceiver(env *Env, watcher *Prober, det *CoincidenceDetector, bank,
 			env.Eng.At(at, func(ticks.T) { step() })
 		})
 		if !ok {
-			env.Eng.After(memctrl.CyclePeriod, func(ticks.T) { step() })
+			env.RetryAt(step)
 		}
 	}
 	step()

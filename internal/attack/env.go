@@ -65,6 +65,18 @@ func NewEnvWithClock(dcfg dram.Config, ccfg memctrl.Config, policy mitigation.Po
 // has skipped so far — attack-side elision telemetry.
 func (e *Env) ElidedCycles() int64 { return e.clock.Elided(e.Eng.Now()) }
 
+// RetryAt schedules fn at the first instant a memory access refused now
+// can usefully be retried: the controller's next grid slot. Queue
+// capacity only frees when the controller ticks, so retries between
+// slots are provably futile — the attack pumps (Prober, Hammerer, the
+// covert and side-channel chains) defer refused accesses here instead of
+// spinning a per-cycle loop, mirroring the cores' SetRetrySlot hook.
+// Retry times are a pure function of engine time, so both clockings
+// produce the same schedule (pinned by the differential tests).
+func (e *Env) RetryAt(fn func()) {
+	e.Eng.At(e.clock.RetrySlot(e.Eng.Now()), func(ticks.T) { fn() })
+}
+
 // Line returns the cache-line address of (bank, row, col).
 func (e *Env) Line(bank, row, col int) uint64 {
 	return e.mapper.Encode(memctrl.Loc{Bank: bank, Row: row, Col: col})
@@ -151,7 +163,7 @@ func (p *Prober) issueNext() {
 		p.env.Eng.At(at+p.gap, func(ticks.T) { p.issueNext() })
 	})
 	if !ok {
-		p.env.Eng.After(memctrl.CyclePeriod, func(ticks.T) { p.issueNext() })
+		p.env.RetryAt(p.issueNext)
 	}
 }
 
@@ -249,7 +261,7 @@ func (h *Hammerer) pump() {
 		h.pump()
 	})
 	if !ok {
-		h.env.Eng.After(memctrl.CyclePeriod, func(ticks.T) { h.pump() })
+		h.env.RetryAt(h.pump)
 		return
 	}
 	h.seqIdx++

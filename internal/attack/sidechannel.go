@@ -256,7 +256,7 @@ func issueChain(env *Env, accs []aes.FirstRoundAccess, i int, done *bool) {
 		env.Eng.At(at, func(ticks.T) { issueChain(env, accs, i+1, done) })
 	})
 	if !ok {
-		env.Eng.After(memctrl.CyclePeriod, func(ticks.T) { issueChain(env, accs, i, done) })
+		env.RetryAt(func() { issueChain(env, accs, i, done) })
 	}
 }
 
@@ -307,7 +307,7 @@ func probeRoundRobin(env *Env, watcher *Prober, det *CoincidenceDetector, table,
 			step()
 		})
 		if !ok {
-			env.Eng.After(memctrl.CyclePeriod, func(ticks.T) { step() })
+			env.RetryAt(step)
 		}
 	}
 	step()

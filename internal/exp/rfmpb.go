@@ -41,13 +41,15 @@ func runRFMpb(r *runner) (RFMpbResult, error) {
 	err := r.pool.Run(len(nrhs)*len(names), func(k int) error {
 		ni, wi := k/len(names), k%len(names)
 		nrh, name := nrhs[ni], names[wi]
-		nAB, _, err := r.normalized(Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}, name)
-		if err != nil {
-			return fmt.Errorf("rfmpb ab nrh=%d: %w", nrh, err)
+		// Both variants always attempted; see normalized for the shard
+		// rationale.
+		nAB, _, errAB := r.normalized(Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: nrh}, name)
+		nPB, run, errPB := r.normalized(Variant{Name: "TPRAC-pb", Policy: sim.PolicyTPRACpb, NRH: nrh}, name)
+		if err := realError(errAB, errPB); err != nil {
+			return fmt.Errorf("rfmpb nrh=%d: %w", nrh, err)
 		}
-		nPB, run, err := r.normalized(Variant{Name: "TPRAC-pb", Policy: sim.PolicyTPRACpb, NRH: nrh}, name)
-		if err != nil {
-			return fmt.Errorf("rfmpb pb nrh=%d: %w", nrh, err)
+		if errAB != nil || errPB != nil {
+			return nil
 		}
 		cells[ni][wi] = pair{ab: nAB, pb: nPB, alerts: run.DRAM.AlertsAsserted}
 		return nil

@@ -1,0 +1,152 @@
+// Package shard partitions an experiment grid across machines. The
+// pool's indexed-job model already makes every (variant, workload) cell
+// an independent simulation; sharding assigns each distinct run key to
+// exactly one of n shards by key hash, so shards never duplicate work —
+// not even the per-workload baselines that many grid cells share — and
+// the union of the shards' executed runs is exactly the unsharded run
+// set.
+//
+// A shard run executes only its owned cells and emits its results as one
+// shard file: a header line naming the format, simulator schema and
+// shard, followed by the executed (key, payload) entries sorted by key.
+// Merging imports every shard's entries back into a session (and,
+// optionally, its persistent store); the figures and tables are then
+// assembled positionally from fully-warm caches, bit-identical to an
+// unsharded run.
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// format stamps the shard-file header; a layout change bumps the suffix.
+const format = "pracsim-shard/1"
+
+// Spec selects one shard of a partition. The zero value means unsharded:
+// every key is owned.
+type Spec struct {
+	Index int
+	Count int
+}
+
+// Parse reads an "i/n" shard spec (0 <= i < n, n >= 1).
+func Parse(s string) (Spec, error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Spec{}, fmt.Errorf("shard: %q is not i/n", s)
+	}
+	i, err1 := strconv.Atoi(is)
+	n, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil {
+		return Spec{}, fmt.Errorf("shard: %q is not i/n", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return Spec{}, fmt.Errorf("shard: %q out of range (want 0 <= i < n)", s)
+	}
+	return Spec{Index: i, Count: n}, nil
+}
+
+// Enabled reports whether the spec actually partitions (an unset spec or
+// 0/1 owns everything).
+func (sp Spec) Enabled() bool { return sp.Count > 1 }
+
+// String renders the spec as "i/n".
+func (sp Spec) String() string { return fmt.Sprintf("%d/%d", sp.Index, sp.Count) }
+
+// Owns reports whether this shard executes the given run key. The
+// assignment hashes the canonical key string, so it is deterministic
+// across machines, independent of grid enumeration order, and partitions
+// the key space: for any key exactly one shard of a given Count owns it.
+func (sp Spec) Owns(key string) bool {
+	if !sp.Enabled() {
+		return true
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64()%uint64(sp.Count)) == sp.Index
+}
+
+// Entry is one executed run in a shard file: the versioned store key and
+// the stable-encoded result payload.
+type Entry struct {
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"`
+}
+
+// header is the shard file's first line.
+type header struct {
+	Format string `json:"format"`
+	Schema int    `json:"schema"`
+	Shard  string `json:"shard"`
+	Runs   int    `json:"runs"`
+}
+
+// WriteFile emits a shard result file. Entries are written sorted by key,
+// so a shard's output is deterministic regardless of execution order.
+func WriteFile(path string, schema int, sp Spec, entries []Entry) error {
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(header{Format: format, Schema: schema, Shard: sp.String(), Runs: len(sorted)}); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	for _, e := range sorted {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("shard: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// ReadFile parses a shard result file, rejecting files from another
+// format or simulator schema (a stale shard must never be merged into
+// figures silently).
+func ReadFile(path string, schema int) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("shard: %s: empty file", path)
+	}
+	var h header
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Format != format {
+		return nil, fmt.Errorf("shard: %s is not a %s file", path, format)
+	}
+	if h.Schema != schema {
+		return nil, fmt.Errorf("shard: %s has schema %d, this simulator is schema %d", path, h.Schema, schema)
+	}
+	var entries []Entry
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("shard: %s entry %d: %w", path, len(entries), err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	if len(entries) != h.Runs {
+		return nil, fmt.Errorf("shard: %s holds %d runs, header says %d (truncated?)", path, len(entries), h.Runs)
+	}
+	return entries, nil
+}

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	good := map[string]Spec{
+		"0/1": {0, 1},
+		"0/2": {0, 2},
+		"1/2": {1, 2},
+		"7/8": {7, 8},
+	}
+	for s, want := range good {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, s := range []string{"", "1", "2/2", "-1/2", "1/0", "a/b", "1/2/3x"} {
+		if sp, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted as %v", s, sp)
+		}
+	}
+}
+
+// TestOwnsPartitions: for any Count, every key is owned by exactly one
+// shard, ownership is deterministic, and the split is reasonably even.
+func TestOwnsPartitions(t *testing.T) {
+	for _, count := range []int{1, 2, 3, 8} {
+		owners := make([]int, count)
+		for k := 0; k < 1000; k++ {
+			key := fmt.Sprintf("pracsim/run/v3/key-%d", k)
+			n := 0
+			for i := 0; i < count; i++ {
+				sp := Spec{Index: i, Count: count}
+				if sp.Owns(key) {
+					n++
+					owners[i]++
+				}
+				if got := sp.Owns(key); got != sp.Owns(key) {
+					t.Fatalf("nondeterministic ownership for %q", key)
+				}
+			}
+			if n != 1 {
+				t.Fatalf("count=%d: key %q owned by %d shards", count, key, n)
+			}
+		}
+		expected := 1000 / count
+		for i, n := range owners {
+			if count > 1 && (n < expected/2 || n > expected*2) {
+				t.Errorf("count=%d: shard %d owns %d of 1000 keys, expected ~%d (badly skewed)", count, i, n, expected)
+			}
+		}
+	}
+}
+
+func TestZeroSpecOwnsEverything(t *testing.T) {
+	var sp Spec
+	if sp.Enabled() || !sp.Owns("anything") {
+		t.Errorf("zero spec should own every key")
+	}
+	one, _ := Parse("0/1")
+	if one.Enabled() || !one.Owns("anything") {
+		t.Errorf("0/1 should own every key")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard0.jsonl")
+	entries := []Entry{
+		{Key: "z-last", Payload: []byte(`{"r":3}`)},
+		{Key: "a-first", Payload: []byte(`{"r":1}`)},
+		{Key: "m-mid", Payload: []byte{0x00, 0xff, 0x10}}, // binary-safe
+	}
+	sp := Spec{Index: 0, Count: 2}
+	if err := WriteFile(path, 3, sp, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Entry{entries[1], entries[2], entries[0]} // sorted by key
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+	// Deterministic bytes regardless of input order.
+	path2 := filepath.Join(t.TempDir(), "shard0b.jsonl")
+	if err := WriteFile(path2, 3, sp, []Entry{entries[1], entries[0], entries[2]}); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Error("shard file bytes depend on entry order")
+	}
+}
+
+// TestReadFileRejects: wrong schema, wrong format and truncation are
+// refused — a stale or torn shard must never merge silently.
+func TestReadFileRejects(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.jsonl")
+	if err := WriteFile(path, 3, Spec{0, 2}, []Entry{{Key: "k", Payload: []byte("p")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, 4); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+	data, _ := os.ReadFile(path)
+	trunc := filepath.Join(dir, "trunc.jsonl")
+	if err := os.WriteFile(trunc, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(trunc, 3); err == nil {
+		t.Error("truncated shard accepted")
+	}
+	junk := filepath.Join(dir, "junk.jsonl")
+	if err := os.WriteFile(junk, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(junk, 3); err == nil {
+		t.Error("junk file accepted")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "absent.jsonl"), 3); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Package store is the persistent, content-addressed run store: a
+// directory of checksummed entry files keyed by the hash of a canonical
+// run key, layered under the in-process single-flight cache so warm
+// results survive across tpracsim/pracleak invocations, CI passes and
+// machines.
+//
+// The store is strictly a cache: every failure mode (missing file,
+// truncated or bit-flipped entry, hash collision, unreadable directory)
+// degrades to a miss and the caller recomputes — a corrupt store can cost
+// time, never correctness. Writes go through a temp file and an atomic
+// rename, so concurrent writers (even across processes sharing one store
+// directory) only ever publish complete, self-validating entries.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// magic stamps the entry-file format; a format change bumps the suffix.
+const magic = "pracstore1\n"
+
+// Stats counts store traffic. Bytes are entry payload bytes (the encoded
+// results), not file overhead.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Store is one on-disk run store rooted at a directory.
+type Store struct {
+	dir string
+
+	hits, misses, writes, bytesRead, bytesWritten atomic.Int64
+}
+
+// DefaultDir is the store location when no explicit directory is given:
+// the user cache directory (~/.cache/tpracsim on Linux).
+func DefaultDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("store: no user cache directory: %w", err)
+	}
+	return filepath.Join(base, "tpracsim"), nil
+}
+
+// OpenMode resolves a CLI -store flag: "auto" opens the store at
+// DefaultDir, "off"/"none"/"" disables persistence (nil store), and
+// anything else is a directory path.
+func OpenMode(mode string) (*Store, error) {
+	switch mode {
+	case "off", "none", "":
+		return nil, nil
+	case "auto":
+		dir, err := DefaultDir()
+		if err != nil {
+			return nil, err
+		}
+		return Open(dir)
+	default:
+		return Open(mode)
+	}
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Report renders the one-line traffic summary the CLIs and the session
+// telemetry print, so the format lives in one place.
+func (st Stats) Report(dir string) string {
+	return fmt.Sprintf("store: %d hits, %d misses, %.1f KB read, %.1f KB written (%s)",
+		st.Hits, st.Misses,
+		float64(st.BytesRead)/1024, float64(st.BytesWritten)/1024, dir)
+}
+
+// Stats snapshots the store's traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Writes:       s.writes.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// Hash is the content address of a key: SHA-256 over the key string. The
+// full key is stored inside the entry and verified on read, so even a
+// hash collision degrades to a miss, not a wrong result.
+func Hash(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, Hash(key)+".run")
+}
+
+// encodeEntry frames a (key, payload) pair:
+//
+//	magic | keyLen uvarint | key | payloadLen uvarint | payload | sha256(payload)
+func encodeEntry(key string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var lenbuf [binary.MaxVarintLen64]byte
+	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(key)))])
+	buf.WriteString(key)
+	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(payload)))])
+	buf.Write(payload)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// decodeEntry validates a framed entry against the expected key and
+// returns its payload. Any deviation — wrong magic, truncation, a
+// different key under the same hash, a checksum mismatch — is an error.
+func decodeEntry(data []byte, key string) ([]byte, error) {
+	if !bytes.HasPrefix(data, []byte(magic)) {
+		return nil, fmt.Errorf("store: bad magic")
+	}
+	rest := data[len(magic):]
+	keyLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < keyLen {
+		return nil, fmt.Errorf("store: truncated key")
+	}
+	rest = rest[n:]
+	if string(rest[:keyLen]) != key {
+		return nil, fmt.Errorf("store: key mismatch (hash collision or tampering)")
+	}
+	rest = rest[keyLen:]
+	payLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: truncated payload length")
+	}
+	rest = rest[n:]
+	// Compare without adding to payLen: a crafted length near 2^64 must
+	// fail here, not wrap around and panic in the slice expression.
+	if uint64(len(rest)) < payLen || uint64(len(rest))-payLen != sha256.Size {
+		return nil, fmt.Errorf("store: truncated payload")
+	}
+	payload := rest[:payLen]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], rest[payLen:]) {
+		return nil, fmt.Errorf("store: payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Get returns the stored payload for key. Every failure mode — absent,
+// truncated, corrupted, colliding — reports (nil, false) and counts a
+// miss; the caller recomputes and its Put replaces the bad entry.
+func (s *Store) Get(key string) ([]byte, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, err := decodeEntry(data, key)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(payload)))
+	return payload, true
+}
+
+// Put stores payload under key, atomically: the entry is written to a
+// temp file in the store directory and renamed into place, so readers
+// and concurrent writers (same key or not, same process or not) never
+// observe a partial entry. The last writer wins; with deterministic
+// payloads all writers carry identical bytes.
+func (s *Store) Put(key string, payload []byte) error {
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	entry := encodeEntry(key, payload)
+	if _, err := tmp.Write(entry); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(payload)))
+	return nil
+}

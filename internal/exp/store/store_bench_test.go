@@ -1,0 +1,45 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStorePut measures the entry write path (frame + checksum +
+// temp file + atomic rename) at a typical encoded-RunResult size.
+func BenchmarkStorePut(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("bench/key-%d", i%64), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures the warm read path (read + frame validation
+// + checksum verify) — the cost of a store hit.
+func BenchmarkStoreGet(b *testing.B) {
+	s, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	for i := 0; i < 64; i++ {
+		if err := s.Put(fmt.Sprintf("bench/key-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(fmt.Sprintf("bench/key-%d", i%64)); !ok {
+			b.Fatal("miss on warm store")
+		}
+	}
+}

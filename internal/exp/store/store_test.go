@@ -1,0 +1,228 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	payload := []byte(`{"result":42}`)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+	if st.BytesRead != int64(len(payload)) || st.BytesWritten != int64(len(payload)) {
+		t.Errorf("byte counters = %+v", st)
+	}
+}
+
+// TestKeysAreIndependent: different keys address different entries, and a
+// second Put overwrites.
+func TestKeysAreIndependent(t *testing.T) {
+	s := open(t)
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		got, ok := s.Get(fmt.Sprintf("key-%d", i))
+		if !ok || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("key-%d = %v, %v", i, got, ok)
+		}
+	}
+	if err := s.Put("key-3", []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("key-3"); !ok || string(got) != "replaced" {
+		t.Fatalf("overwrite lost: %q, %v", got, ok)
+	}
+}
+
+// TestCorruptEntryIsAMiss exercises the robustness contract: truncation
+// and bit flips anywhere in the entry degrade to a miss, and a recompute's
+// Put restores the entry.
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	payload := []byte("a payload long enough to truncate meaningfully")
+	s := open(t)
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	path := s.path("k")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string][]byte{
+		"empty":          {},
+		"half":           pristine[:len(pristine)/2],
+		"no magic":       pristine[1:],
+		"flipped byte":   append(append([]byte{}, pristine[:len(magic)+5]...), append([]byte{pristine[len(magic)+5] ^ 0xff}, pristine[len(magic)+6:]...)...),
+		"flipped output": append(append([]byte{}, pristine[:len(pristine)-1]...), pristine[len(pristine)-1]^1),
+	}
+	for name, data := range corruptions {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("k"); ok {
+			t.Errorf("%s: corrupt entry served as a hit: %q", name, got)
+		}
+		if err := s.Put("k", payload); err != nil {
+			t.Fatalf("%s: re-put after corruption: %v", name, err)
+		}
+		if got, ok := s.Get("k"); !ok || !bytes.Equal(got, payload) {
+			t.Errorf("%s: entry not restored: %q, %v", name, got, ok)
+		}
+	}
+}
+
+// TestCraftedLengthIsAMissNotAPanic: a payload-length uvarint near 2^64
+// must fail the frame validation, not wrap the bounds arithmetic and
+// panic — a crafted or badly corrupted entry in a shared store must
+// never crash the reader.
+func TestCraftedLengthIsAMissNotAPanic(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the entry with the payload length replaced by maxUint64 -
+	// 31 (so payLen + 32 wraps to a small number).
+	var frame bytes.Buffer
+	frame.WriteString(magic)
+	var lenbuf [binary.MaxVarintLen64]byte
+	frame.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len("k")))])
+	frame.WriteString("k")
+	frame.Write(lenbuf[:binary.PutUvarint(lenbuf[:], ^uint64(31))])
+	frame.WriteString("short")
+	if err := os.WriteFile(s.path("k"), frame.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); ok {
+		t.Errorf("crafted entry served as a hit: %q", got)
+	}
+}
+
+// TestOpenMode pins the CLI flag resolution shared by the cmd binaries.
+func TestOpenMode(t *testing.T) {
+	for _, mode := range []string{"off", "none", ""} {
+		st, err := OpenMode(mode)
+		if st != nil || err != nil {
+			t.Errorf("OpenMode(%q) = %v, %v; want nil store", mode, st, err)
+		}
+	}
+	dir := t.TempDir()
+	st, err := OpenMode(dir)
+	if err != nil || st == nil || st.Dir() != dir {
+		t.Errorf("OpenMode(dir) = %v, %v", st, err)
+	}
+}
+
+// TestKeyMismatchIsAMiss simulates a hash collision: an entry file whose
+// embedded key differs from the requested key must be a miss even though
+// it is internally consistent.
+func TestKeyMismatchIsAMiss(t *testing.T) {
+	s := open(t)
+	if err := s.Put("other-key", []byte("other payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Copy other-key's entry file to where "wanted-key" would live.
+	data, err := os.ReadFile(s.path("other-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("wanted-key"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("wanted-key"); ok {
+		t.Errorf("colliding entry served as a hit: %q", got)
+	}
+}
+
+// TestConcurrentWriters hammers one store with racing writers and readers
+// across shared and distinct keys; under -race this is the concurrency
+// safety test, and every read must observe either a miss or a complete,
+// valid payload for its key (atomic rename: never a torn entry).
+func TestConcurrentWriters(t *testing.T) {
+	s := open(t)
+	const goroutines = 16
+	const rounds = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			own := fmt.Sprintf("own-%d", g)
+			for i := 0; i < rounds; i++ {
+				if err := s.Put("shared", []byte("shared payload")); err != nil {
+					t.Error(err)
+				}
+				if err := s.Put(own, []byte(own)); err != nil {
+					t.Error(err)
+				}
+				if got, ok := s.Get("shared"); ok && string(got) != "shared payload" {
+					t.Errorf("torn shared read: %q", got)
+				}
+				if got, ok := s.Get(own); !ok || string(got) != own {
+					t.Errorf("own key %s read %q, %v", own, got, ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// No temp files may survive.
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if got := e.Name(); len(got) < 4 || got[len(got)-4:] != ".run" {
+			t.Errorf("leftover non-entry file %s", got)
+		}
+	}
+}
+
+// TestVersionedKeysDoNotAlias: keys that differ only in an embedded
+// version component address different entries — the invalidation
+// mechanism a schema bump relies on.
+func TestVersionedKeysDoNotAlias(t *testing.T) {
+	s := open(t)
+	if err := s.Put("run/v3/x", []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("run/v4/x"); ok {
+		t.Error("v4 key hit a v3 entry")
+	}
+	if got, ok := s.Get("run/v3/x"); !ok || string(got) != "v3" {
+		t.Errorf("v3 entry lost: %q, %v", got, ok)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+}

@@ -45,11 +45,18 @@ func (s *Runner) Telemetry() []RunTelemetry { return s.r.tlog.snapshot() }
 
 // TelemetryReport renders the session's execution telemetry: aggregate
 // simulation rate and elision wins, plus the slowest `top` simulations so
-// stragglers in large sweeps are visible at a glance.
+// stragglers in large sweeps are visible at a glance. Sessions with a
+// persistent store lead with the store's hit/miss/byte counters — on a
+// fully warm store the session executes nothing and the store line is
+// the whole story.
 func (s *Runner) TelemetryReport(top int) string {
+	out := ""
+	if s.r.store != nil {
+		out += s.r.store.Stats().Report(s.r.store.Dir()) + "\n"
+	}
 	entries := s.r.tlog.snapshot()
 	if len(entries) == 0 {
-		return "telemetry: no simulations executed\n"
+		return out + "telemetry: no simulations executed\n"
 	}
 	var wallNS, steps, elided, simTicks int64
 	for _, e := range entries {
@@ -61,7 +68,7 @@ func (s *Runner) TelemetryReport(top int) string {
 	// A per-cycle engine pays one timestep per simulated tick, so the
 	// step reduction is simTicks/steps; elided is the raw component-cycle
 	// count (cores and controller sum separately).
-	out := fmt.Sprintf(
+	out += fmt.Sprintf(
 		"telemetry: %d simulations, %.2fs total sim compute, %.1f Mticks/s aggregate, %d engine steps (%.1fx fewer than per-cycle), %d component cycles elided\n",
 		len(entries), float64(wallNS)/1e9,
 		float64(simTicks)/(float64(wallNS)/1e9)/1e6,

@@ -20,6 +20,8 @@ import (
 	"pracsim/internal/attack"
 	"pracsim/internal/dram"
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/shard"
+	"pracsim/internal/exp/store"
 	"pracsim/internal/mitigation"
 	"pracsim/internal/sim"
 	"pracsim/internal/ticks"
@@ -136,11 +138,28 @@ type (
 	// through one session share a worker pool and a single-flight run
 	// cache, so identical (variant, workload) simulations execute once.
 	ExpRunner = exp.Runner
+	// SessionOptions attaches the cross-process scaling layers to a
+	// session: a persistent content-addressed run store and a shard
+	// spec for multi-machine grids.
+	SessionOptions = exp.SessionOptions
+	// RunStore is the persistent, content-addressed run store.
+	RunStore = store.Store
+	// ShardSpec selects one deterministic shard of a partitioned grid.
+	ShardSpec = shard.Spec
 )
 
 var (
 	// NewExpRunner returns an experiment session for a scale.
 	NewExpRunner = exp.NewRunner
+	// NewExpRunnerWith returns a session with a persistent store
+	// and/or shard spec attached.
+	NewExpRunnerWith = exp.NewRunnerWith
+	// OpenRunStore opens (creating if needed) a run store directory.
+	OpenRunStore = store.Open
+	// DefaultRunStoreDir is the user-cache-dir store location.
+	DefaultRunStoreDir = store.DefaultDir
+	// ParseShard reads an "i/n" shard spec.
+	ParseShard = shard.Parse
 
 	// QuickScale is the minutes-scale experiment configuration.
 	QuickScale = exp.QuickScale
