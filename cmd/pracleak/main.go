@@ -46,7 +46,10 @@ func main() {
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
-	st, err := store.OpenMode(*storeMode)
+	st, warn, err := store.OpenMode(*storeMode)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "pracleak: "+warn)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pracleak: %v\n", err)
 		os.Exit(1)

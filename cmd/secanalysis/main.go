@@ -30,7 +30,10 @@ func main() {
 	csvDir := flag.String("csvdir", "", "directory to write fig7.csv into (optional)")
 	flag.Parse()
 
-	st, err := store.OpenMode(*storeMode)
+	st, warn, err := store.OpenMode(*storeMode)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "secanalysis: "+warn)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "secanalysis:", err)
 		os.Exit(1)

@@ -13,7 +13,11 @@
 // Grids also shard across machines: -shard i/n executes only the i-th
 // deterministic slice of the run keys and writes the results to a shard
 // file (-shardout); -merge imports the shard files and assembles the
-// figures without simulating, bit-identical to an unsharded run.
+// figures without simulating, bit-identical to an unsharded run. The
+// -dispatch driver automates the whole workflow: it spawns n shard
+// workers (re-execing this binary, or any fleet via -dispatch-cmd),
+// retries failures and stragglers on other worker slots, auto-merges
+// the shard files and renders the figures in one command.
 //
 // Usage:
 //
@@ -21,6 +25,7 @@
 //	         [-scale quick|full] [-workers N] [-serial]
 //	         [-store DIR|auto|off] [-shard i/n [-shardout FILE]]
 //	         [-merge FILE,FILE,...] [-csvdir DIR]
+//	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]]
 package main
 
 import (
@@ -28,11 +33,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/dispatch"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
+	"pracsim/internal/sim"
+	"pracsim/internal/stats"
 )
 
 type report interface {
@@ -40,7 +51,13 @@ type report interface {
 	CSV() string
 }
 
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpracsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
+	start := time.Now()
 	which := flag.String("exp", "fig10", "experiment: fig10, fig11, fig12, fig13, fig14, table5, rfmpb or all")
 	scaleName := flag.String("scale", "quick", "quick (8 workloads, short budgets) or full (all 50 workloads)")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = all cores)")
@@ -51,6 +68,9 @@ func main() {
 	shardArg := flag.String("shard", "", "execute only shard i/n of the run keys and write a shard file instead of reports")
 	shardOut := flag.String("shardout", "", "shard result file to write (default shard-i-of-n.runs)")
 	mergeArg := flag.String("merge", "", "comma-separated shard files to import before running")
+	dispatchN := flag.Int("dispatch", 0, "dispatch the grid to N shard workers and auto-merge their results (0 = off)")
+	dispatchCmd := flag.String("dispatch-cmd", "", "worker command template run via sh -c, with {args}/{shard}/{index}/{count}/{slot}/{out} placeholders (default: re-exec this binary)")
+	dispatchAttempts := flag.Int("dispatch-attempts", 3, "per-shard attempt budget for -dispatch")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -69,13 +89,27 @@ func main() {
 	scale.PerCycle = *perCycle
 	scale.Differential = *differential
 
-	st, err := store.OpenMode(*storeMode)
+	st, warn, err := store.OpenMode(*storeMode)
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "tpracsim: "+warn)
+	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
+	}
+	if *dispatchN > 0 && (*perCycle || *differential) {
+		// The validation clockings exist to actually execute every
+		// simulation here; a session in those modes ignores imported
+		// shard results by design, so a dispatched fleet's work would
+		// be silently discarded and the grid re-run locally.
+		fmt.Fprintln(os.Stderr, "tpracsim: -dispatch cannot be combined with -percycle/-differential (validation modes must execute locally)")
+		os.Exit(2)
 	}
 	var sp shard.Spec
 	if *shardArg != "" {
+		if *dispatchN > 0 {
+			fmt.Fprintln(os.Stderr, "tpracsim: -shard and -dispatch are mutually exclusive (the dispatcher assigns shards itself)")
+			os.Exit(2)
+		}
 		if sp, err = shard.Parse(*shardArg); err != nil {
 			fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
 			os.Exit(2)
@@ -87,11 +121,21 @@ func main() {
 
 	session := exp.NewRunnerWith(scale, exp.SessionOptions{Store: st, Shard: sp})
 	if *mergeArg != "" {
-		files := strings.Split(*mergeArg, ",")
+		// Tolerate list debris (trailing or doubled commas, stray
+		// spaces) — but an all-debris list is a mistake worth naming,
+		// not an empty no-op merge.
+		var files []string
+		for _, f := range strings.Split(*mergeArg, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				files = append(files, f)
+			}
+		}
+		if len(files) == 0 {
+			fatalf("-merge %q names no shard files", *mergeArg)
+		}
 		n, err := session.ImportShards(files...)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tpracsim: merging shards: %v\n", err)
-			os.Exit(1)
+			fatalf("merging shards: %v", err)
 		}
 		fmt.Printf("merged %d runs from %d shard file(s)\n", n, len(files))
 	}
@@ -107,6 +151,9 @@ func main() {
 	}
 	order := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "rfmpb"}
 
+	// Validate the selection before any work — in particular before a
+	// dispatch fleet spawns and burns its retry budget on workers that
+	// would all exit with this same error.
 	selected := order
 	if *which != "all" {
 		if _, ok := runs[*which]; !ok {
@@ -116,13 +163,19 @@ func main() {
 		selected = []string{*which}
 	}
 
+	if *dispatchN > 0 {
+		if err := runDispatch(session, st, *dispatchN, *dispatchCmd, *dispatchAttempts,
+			*which, *scaleName, *workers, *serial); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	for _, name := range selected {
 		fmt.Printf("running %s at %s scale...\n", name, *scaleName)
 		before := session.Executed()
 		res, err := runs[name]()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tpracsim: %s: %v\n", name, err)
-			os.Exit(1)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Printf("(%d new simulations; session cache holds %d)\n",
 			session.Executed()-before, session.CachedRuns())
@@ -136,8 +189,7 @@ func main() {
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, name+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "tpracsim: writing %s: %v\n", path, err)
-				os.Exit(1)
+				fatalf("writing %s: %v", path, err)
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
@@ -145,14 +197,99 @@ func main() {
 	if sp.Count > 0 {
 		n, err := session.ExportShard(*shardOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
+		sum := session.Summary()
 		fmt.Printf("shard %s: %d runs (%d executed, rest store-warm), wrote %s\n",
-			sp, n, session.Executed(), *shardOut)
+			sp, n, sum.Executed, *shardOut)
+		// The machine-readable trailer the dispatch driver folds into
+		// its per-shard report.
+		fmt.Println(dispatch.Summary{
+			Shard:    sp.String(),
+			Runs:     n,
+			Executed: sum.Executed,
+			WallMS:   time.Since(start).Milliseconds(),
+			Store:    sum.Store,
+		}.Line())
 	}
 	// Execution telemetry: store traffic, aggregate simulation rate,
 	// elision wins and the straggler simulations that dominated the
 	// sweep's wall-clock.
 	fmt.Println(session.TelemetryReport(5))
+}
+
+// runDispatch fans the selected experiments out to shard workers,
+// reports the per-shard fleet summary and merges the shard files into
+// the session, which then assembles figures from fully-warm caches.
+// Errors return (rather than exiting) so the deferred work-directory
+// cleanup runs on failure paths too.
+func runDispatch(session *exp.Runner, st *store.Store, n int, template string, attempts int,
+	which, scaleName string, workers int, serial bool) error {
+	// Workers re-run this binary's own configuration, minus the
+	// rendering flags: each executes its shard of the same grid against
+	// the same store and emits a shard file. A local pool (no template)
+	// shares this machine's cores, so by default each worker gets an
+	// equal slice instead of all inheriting -workers 0 (all cores) and
+	// oversubscribing the CPU n-fold; an explicit -workers or a fleet
+	// template (remote hosts own their cores) passes through untouched.
+	if template == "" && workers == 0 && !serial {
+		workers = runtime.NumCPU() / n
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	args := []string{"-exp", which, "-scale", scaleName, "-workers", strconv.Itoa(workers)}
+	if serial {
+		args = append(args, "-serial")
+	}
+	if st != nil {
+		args = append(args, "-store", st.Dir())
+	} else {
+		args = append(args, "-store", "off")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("resolving own binary for dispatch: %w", err)
+	}
+	workDir, err := os.MkdirTemp("", "tpracsim-dispatch-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+
+	res, err := dispatch.Run(dispatch.Options{
+		Shards:          n,
+		Workers:         n,
+		Argv:            append([]string{exe}, args...),
+		Template:        template,
+		Attempts:        attempts,
+		Dir:             workDir,
+		Schema:          sim.SchemaVersion,
+		Log:             os.Stdout,
+		StragglerFactor: 3,
+		StragglerMin:    30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "runs", "executed", "wall-s", "store-hits", "store-misses"}}
+	for _, r := range res.Reports {
+		executed, hits, misses := "?", "?", "?"
+		if r.HasSummary {
+			executed = strconv.FormatInt(r.Summary.Executed, 10)
+			hits = strconv.FormatInt(r.Summary.Store.Hits, 10)
+			misses = strconv.FormatInt(r.Summary.Store.Misses, 10)
+		}
+		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Runs, executed, r.Wall.Seconds(), hits, misses)
+	}
+	fmt.Printf("dispatch: %d shard(s) converged in %.1fs, %d retried attempt(s)\n%s",
+		len(res.Reports), res.Wall.Seconds(), res.Retries(), t.String())
+
+	imported, err := session.ImportShards(res.Files...)
+	if err != nil {
+		return fmt.Errorf("merging dispatched shards: %w", err)
+	}
+	fmt.Printf("merged %d runs from %d dispatched shard(s)\n", imported, len(res.Files))
+	return nil
 }

@@ -1,0 +1,596 @@
+// Package dispatch turns the shard/merge workflow into a one-command
+// fleet run. Given a shard count and a worker command — by default a
+// re-exec of the current binary, or any fleet reachable through a shell
+// command template (ssh, containers) — the driver spawns one
+// `-shard i/n -shardout F` worker per shard across a bounded pool of
+// worker slots, streams each worker's output, and hands back validated
+// shard files for the caller to merge through the session's
+// ImportShards path, so the assembled figures are bit-identical to an
+// unsharded run.
+//
+// Failures are the driver's job, not the operator's: a worker that
+// exits non-zero, dies mid-shard, or produces an unreadable shard file
+// is retried on a different worker slot (the failed slot is excluded
+// while any other is idle) within a per-shard attempt budget, and a
+// shard that keeps running long after its peers finished gets a
+// speculative backup attempt on an idle slot — first complete file
+// wins. Only a shard that exhausts its budget fails the run, carrying
+// the worker's last stderr lines.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pracsim/internal/exp/shard"
+)
+
+// Options configures one dispatch run.
+type Options struct {
+	// Shards is n: the grid is partitioned into this many deterministic
+	// shards and every shard must converge for the run to succeed.
+	Shards int
+	// Workers bounds how many worker processes run at once (the slot
+	// pool; slots are what retry exclusion and templates' {slot} refer
+	// to). 0 means one slot per shard.
+	Workers int
+	// Argv is the base worker command (binary plus arguments); the
+	// driver appends `-shard i/n -shardout FILE` per attempt. Required
+	// unless Template is set.
+	Argv []string
+	// Template, when non-empty, is a shell command template run via
+	// `sh -c` instead of executing Argv directly — the fleet hook
+	// (ssh/container fan-out). Placeholders: {args} expands to the
+	// complete shell-quoted worker command (Argv plus the shard flags),
+	// {shard} to "i/n", {index}, {count} and {slot} to the obvious
+	// integers, and {out} to the shard file path this attempt must
+	// write. Templates should `exec` the final command so signals reach
+	// the worker. The driver validates and merges {out} on its own
+	// filesystem, so a remote fleet needs Dir on a filesystem shared
+	// with the workers — or a template that runs the worker against a
+	// remote path and copies the file to {out} before exiting.
+	Template string
+	// Attempts is the per-shard attempt budget (initial launch included).
+	// 0 means 3.
+	Attempts int
+	// Dir is where shard files are written. "" creates a temporary
+	// directory, reported in Result.Dir; the caller owns its cleanup.
+	Dir string
+	// Schema is the simulator schema version shard files must carry
+	// (sim.SchemaVersion); a worker from a stale build fails validation
+	// and is retried, never merged.
+	Schema int
+	// Log receives the driver's progress lines and every worker's
+	// prefixed output. nil discards.
+	Log io.Writer
+	// StragglerFactor enables speculative re-dispatch: once at least
+	// half the shards have converged, a shard still running longer than
+	// factor x the median converged wall-clock gets a backup attempt on
+	// an idle slot. 0 disables.
+	StragglerFactor float64
+	// StragglerMin floors the straggler threshold (quick shards finish
+	// in noise-level time; a tiny median must not trigger backups).
+	// 0 means 15s.
+	StragglerMin time.Duration
+}
+
+// ShardReport summarizes one converged shard.
+type ShardReport struct {
+	Shard    shard.Spec
+	File     string        // validated shard file (final path)
+	Slot     int           // slot of the winning attempt
+	Attempts int           // attempts launched (retries = Attempts-1)
+	Runs     int           // entries in the shard file
+	Wall     time.Duration // winning attempt's wall-clock
+	// Summary is the worker's self-reported session trailer (runs
+	// executed, store traffic); zero when the worker printed none —
+	// fake workers in tests and non-tpracsim fleets need not emit it.
+	Summary    Summary
+	HasSummary bool
+}
+
+// Result is a successful dispatch: every shard converged.
+type Result struct {
+	// Dir is the shard-file directory; the caller owns its cleanup.
+	// Losing attempts (cancelled backups, killed workers) are swept
+	// best-effort on return, but a worker lingering past Run can still
+	// drop a stray attempt file here — use a throwaway directory, as
+	// the CLI does.
+	Dir     string
+	Files   []string // one validated shard file per shard, index order
+	Reports []ShardReport
+	Wall    time.Duration
+}
+
+// Retries reports the total number of re-dispatched attempts across all
+// shards.
+func (r *Result) Retries() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += rep.Attempts - 1
+	}
+	return n
+}
+
+// attempt is one worker process trying one shard.
+type attempt struct {
+	sp     shard.Spec
+	slot   int
+	n      int // 1-based attempt ordinal for its shard
+	out    string
+	start  time.Time
+	cancel context.CancelFunc
+
+	// Written by the attempt's output-copy goroutines, read by the
+	// event loop after the attempt reports done. cmd.WaitDelay can
+	// abandon a copy goroutine that a worker's orphaned child keeps
+	// alive, so the mutex is load-bearing, not ceremony.
+	mu         sync.Mutex
+	stderrTail []string
+	summary    Summary
+	hasSummary bool
+}
+
+func (a *attempt) lastStderr() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.stderrTail) == 0 {
+		return "(no stderr)"
+	}
+	return strings.Join(a.stderrTail, "\n")
+}
+
+func (a *attempt) workerSummary() (Summary, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.summary, a.hasSummary
+}
+
+// shardState is the driver's book-keeping for one shard.
+type shardState struct {
+	sp       shard.Spec
+	attempts int          // launched so far
+	excluded map[int]bool // slots a failed attempt ran on
+	running  []*attempt
+	done     bool
+	report   ShardReport
+}
+
+type doneEvent struct {
+	a   *attempt
+	err error
+}
+
+// dispatcher carries one Run's resolved options and shared state.
+type dispatcher struct {
+	opts   Options
+	dir    string
+	events chan doneEvent
+	ctx    context.Context
+
+	logMu sync.Mutex
+	log   io.Writer
+}
+
+func (d *dispatcher) logf(format string, args ...any) {
+	d.logMu.Lock()
+	fmt.Fprintf(d.log, format+"\n", args...)
+	d.logMu.Unlock()
+}
+
+// Run dispatches every shard and blocks until all have converged or one
+// exhausts its attempt budget. On success the returned Result lists one
+// validated shard file per shard; the caller merges them (exp
+// ImportShards) and assembles figures bit-identical to an unsharded run.
+func Run(opts Options) (*Result, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("dispatch: need at least 1 shard, got %d", opts.Shards)
+	}
+	if opts.Template == "" && len(opts.Argv) == 0 {
+		return nil, fmt.Errorf("dispatch: no worker command (set Argv or Template)")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = opts.Shards
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 3
+	}
+	if opts.StragglerMin <= 0 {
+		opts.StragglerMin = 15 * time.Second
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	dir := opts.Dir
+	createdDir := false
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "pracsim-dispatch-"); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		createdDir = true
+	}
+
+	ctx, cancelAll := context.WithCancel(context.Background())
+	defer cancelAll()
+	d := &dispatcher{
+		opts: opts,
+		dir:  dir,
+		// Buffered past the worst case so attempt goroutines can always
+		// deliver their event and exit, even after Run has returned.
+		events: make(chan doneEvent, opts.Shards*opts.Attempts+workers),
+		ctx:    ctx,
+		log:    opts.Log,
+	}
+
+	states := make([]*shardState, opts.Shards)
+	pending := make([]int, 0, opts.Shards)
+	for i := range states {
+		states[i] = &shardState{
+			sp:       shard.Spec{Index: i, Count: opts.Shards},
+			excluded: make(map[int]bool),
+		}
+		pending = append(pending, i)
+	}
+	idle := make([]int, 0, workers)
+	for s := 0; s < workers; s++ {
+		idle = append(idle, s)
+	}
+
+	var tick <-chan time.Time
+	if opts.StragglerFactor > 0 {
+		interval := opts.StragglerMin / 2
+		if interval > time.Second {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tick = t.C
+	}
+
+	start := time.Now()
+	d.logf("dispatch: %d shards across %d worker slot(s), %d attempt(s) per shard", opts.Shards, workers, opts.Attempts)
+	completed := 0
+	var converged []time.Duration
+	for completed < opts.Shards {
+		for len(pending) > 0 && len(idle) > 0 {
+			si := pending[0]
+			pending = pending[1:]
+			st := states[si]
+			slot := takeSlot(&idle, st.excluded)
+			d.launch(st, slot)
+		}
+		if len(pending) == 0 && len(idle) > 0 && completed*2 >= opts.Shards {
+			d.maybeBackup(states, &idle, converged)
+		}
+
+		select {
+		case ev := <-d.events:
+			st := states[ev.a.sp.Index]
+			idle = append(idle, ev.a.slot)
+			st.running = removeAttempt(st.running, ev.a)
+			if st.done {
+				// Loser of a backup race; its file (if any) is redundant.
+				os.Remove(ev.a.out)
+				continue
+			}
+			if ev.err == nil {
+				runs, verr := validateFile(ev.a.out, opts.Schema)
+				if verr == nil {
+					completed++
+					converged = append(converged, time.Since(ev.a.start))
+					d.finish(st, ev.a, runs)
+					continue
+				}
+				// The worker exited clean but its file does not parse —
+				// the exact torn/stale case the merge must never see.
+				ev.err = verr
+			}
+			st.excluded[ev.a.slot] = true
+			d.logf("dispatch: shard %s attempt %d failed on slot %d: %v", st.sp, ev.a.n, ev.a.slot, ev.err)
+			if len(st.running) > 0 {
+				continue // a backup attempt is still in flight
+			}
+			if st.attempts >= opts.Attempts {
+				cancelAll()
+				sweepAttempts(states)
+				if createdDir {
+					defer os.RemoveAll(dir)
+				}
+				return nil, fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w\nworker stderr (last lines):\n%s",
+					st.sp, st.attempts, ev.err, ev.a.lastStderr())
+			}
+			pending = append(pending, st.sp.Index)
+		case <-tick:
+		}
+	}
+
+	// The last shard can converge through a backup while its original
+	// attempt is still being killed; the loop exits without seeing the
+	// loser's event, so sweep its files here instead.
+	sweepAttempts(states)
+	res := &Result{Dir: dir, Wall: time.Since(start)}
+	for _, st := range states {
+		res.Files = append(res.Files, st.report.File)
+		res.Reports = append(res.Reports, st.report)
+	}
+	d.logf("dispatch: %d/%d shards converged in %.1fs (%d retried attempt(s))",
+		completed, opts.Shards, res.Wall.Seconds(), res.Retries())
+	return res, nil
+}
+
+// launch starts one attempt for st on the given slot.
+func (d *dispatcher) launch(st *shardState, slot int) {
+	st.attempts++
+	a := &attempt{
+		sp:   st.sp,
+		slot: slot,
+		n:    st.attempts,
+		out:  filepath.Join(d.dir, fmt.Sprintf("shard-%d-of-%d.attempt%d.runs", st.sp.Index, st.sp.Count, st.attempts)),
+	}
+	actx, cancel := context.WithCancel(d.ctx)
+	a.cancel = cancel
+	a.start = time.Now()
+
+	workerArgv := append(append([]string{}, d.opts.Argv...), "-shard", st.sp.String(), "-shardout", a.out)
+	var cmd *exec.Cmd
+	if d.opts.Template != "" {
+		cmd = exec.CommandContext(actx, "sh", "-c", expandTemplate(d.opts.Template, workerArgv, st.sp, slot, a.out))
+	} else {
+		cmd = exec.CommandContext(actx, workerArgv[0], workerArgv[1:]...)
+	}
+	d.logf("dispatch: shard %s attempt %d -> slot %d", st.sp, st.attempts, slot)
+	st.running = append(st.running, a)
+	go func() { d.events <- doneEvent{a, d.runAttempt(cmd, a)} }()
+}
+
+// finish records a converged shard and kills its redundant siblings.
+func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
+	st.done = true
+	for _, sib := range st.running {
+		sib.cancel()
+	}
+	final := filepath.Join(d.dir, fmt.Sprintf("shard-%d-of-%d.runs", st.sp.Index, st.sp.Count))
+	if err := os.Rename(a.out, final); err != nil {
+		// Same-directory rename failing is exotic; the attempt file is
+		// just as valid, so fall back to it rather than failing a
+		// converged shard.
+		final = a.out
+	}
+	wall := time.Since(a.start)
+	sum, ok := a.workerSummary()
+	st.report = ShardReport{
+		Shard:      st.sp,
+		File:       final,
+		Slot:       a.slot,
+		Attempts:   st.attempts,
+		Runs:       runs,
+		Wall:       wall,
+		Summary:    sum,
+		HasSummary: ok,
+	}
+	d.logf("dispatch: shard %s converged on slot %d (attempt %d, %d runs, %.1fs)",
+		st.sp, a.slot, a.n, runs, wall.Seconds())
+}
+
+// maybeBackup speculatively re-dispatches stragglers onto idle slots:
+// with no pending work and at least half the shards converged, a shard
+// whose sole running attempt has outlived factor x the median converged
+// wall-clock gets one backup on a different slot; the first complete
+// file wins.
+func (d *dispatcher) maybeBackup(states []*shardState, idle *[]int, converged []time.Duration) {
+	threshold := time.Duration(float64(medianDuration(converged)) * d.opts.StragglerFactor)
+	if threshold < d.opts.StragglerMin {
+		threshold = d.opts.StragglerMin
+	}
+	for _, st := range states {
+		if len(*idle) == 0 {
+			return
+		}
+		if st.done || len(st.running) != 1 || st.attempts >= d.opts.Attempts {
+			continue
+		}
+		a := st.running[0]
+		if time.Since(a.start) < threshold {
+			continue
+		}
+		avoid := map[int]bool{a.slot: true}
+		for s := range st.excluded {
+			avoid[s] = true
+		}
+		slot, ok := takeSlotAvoiding(idle, avoid)
+		if !ok {
+			continue // only the straggler's own slot is idle
+		}
+		d.logf("dispatch: shard %s straggling on slot %d (%.1fs, median %.1fs) — dispatching backup",
+			st.sp, a.slot, time.Since(a.start).Seconds(), medianDuration(converged).Seconds())
+		d.launch(st, slot)
+	}
+}
+
+// runAttempt runs one worker process to completion, streaming its
+// output line-by-line with a shard prefix, collecting the stderr tail
+// and parsing the optional summary trailer.
+func (d *dispatcher) runAttempt(cmd *exec.Cmd, a *attempt) error {
+	prefix := fmt.Sprintf("[shard %s #%d] ", a.sp, a.n)
+	stdout := &lineWriter{emit: func(line string) {
+		if s, ok := ParseSummaryLine(line); ok {
+			a.mu.Lock()
+			a.summary, a.hasSummary = s, true
+			a.mu.Unlock()
+			return // machine trailer, not progress
+		}
+		d.logf("%s%s", prefix, line)
+	}}
+	stderr := &lineWriter{emit: func(line string) {
+		a.mu.Lock()
+		a.stderrTail = append(a.stderrTail, line)
+		if len(a.stderrTail) > stderrTailLines {
+			a.stderrTail = a.stderrTail[len(a.stderrTail)-stderrTailLines:]
+		}
+		a.mu.Unlock()
+		d.logf("%s%s", prefix, line)
+	}}
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	// Bound Wait on the worker's pipes: a template that backgrounds a
+	// child (or a kill that orphans one) must not wedge the whole
+	// dispatch behind an inherited file descriptor.
+	cmd.WaitDelay = 5 * time.Second
+	err := cmd.Run()
+	stdout.flush()
+	stderr.flush()
+	return err
+}
+
+// stderrTailLines bounds how much worker stderr a budget-exhaustion
+// error carries.
+const stderrTailLines = 40
+
+// validateFile checks that a worker's output is a complete,
+// schema-matching shard file and reports how many runs it holds. An
+// exit status of 0 is not trusted on its own — only a file the merge
+// will accept counts as convergence. Validation streams (shard
+// .Validate) instead of loading the file: the merge re-reads it anyway,
+// and a full-scale shard should not be held in memory twice.
+func validateFile(path string, schema int) (int, error) {
+	return shard.Validate(path, schema)
+}
+
+// sweepAttempts removes the output (and atomic-write temp) files of
+// every attempt still marked running — cancelled backup-race losers and
+// killed workers whose events the loop never drained. Best-effort: a
+// worker lingering inside its WaitDelay can still publish after the
+// sweep, which is why Result.Dir tells callers to use a throwaway
+// directory.
+func sweepAttempts(states []*shardState) {
+	for _, st := range states {
+		for _, a := range st.running {
+			a.cancel()
+			os.Remove(a.out)
+			if tmps, err := filepath.Glob(a.out + ".tmp*"); err == nil {
+				for _, t := range tmps {
+					os.Remove(t)
+				}
+			}
+		}
+	}
+}
+
+// takeSlot pops an idle slot, preferring one no failed attempt of this
+// shard ran on; when every idle slot is excluded the first is used
+// anyway (a retry beats starvation).
+func takeSlot(idle *[]int, excluded map[int]bool) int {
+	if slot, ok := takeSlotAvoiding(idle, excluded); ok {
+		return slot
+	}
+	slot := (*idle)[0]
+	*idle = (*idle)[1:]
+	return slot
+}
+
+// takeSlotAvoiding pops the first idle slot not in avoid.
+func takeSlotAvoiding(idle *[]int, avoid map[int]bool) (int, bool) {
+	for i, slot := range *idle {
+		if !avoid[slot] {
+			*idle = append((*idle)[:i], (*idle)[i+1:]...)
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func removeAttempt(as []*attempt, a *attempt) []*attempt {
+	for i, x := range as {
+		if x == a {
+			return append(as[:i], as[i+1:]...)
+		}
+	}
+	return as
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	c := append([]time.Duration(nil), ds...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// expandTemplate substitutes the worker placeholders into a fleet
+// command template; see Options.Template for the placeholder set.
+func expandTemplate(tmpl string, argv []string, sp shard.Spec, slot int, out string) string {
+	quoted := make([]string, len(argv))
+	for i, arg := range argv {
+		quoted[i] = shellQuote(arg)
+	}
+	return strings.NewReplacer(
+		"{args}", strings.Join(quoted, " "),
+		"{shard}", sp.String(),
+		"{index}", strconv.Itoa(sp.Index),
+		"{count}", strconv.Itoa(sp.Count),
+		"{slot}", strconv.Itoa(slot),
+		"{out}", out,
+	).Replace(tmpl)
+}
+
+// shellQuote renders one argv word safely for sh -c.
+func shellQuote(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if !strings.ContainsAny(s, " \t\n\"'\\$&|;<>()*?[]#~`!{}") {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}
+
+// lineWriter splits a worker output stream into lines for the emit
+// callback, tolerating writes that span or split lines. The mutex
+// matters for the same reason as attempt.mu: cmd.WaitDelay can abandon
+// the exec copy goroutine that calls Write while runAttempt flushes.
+type lineWriter struct {
+	emit func(string)
+
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		w.emit(strings.TrimSuffix(string(w.buf[:i]), "\r"))
+		w.buf = w.buf[i+1:]
+	}
+}
+
+func (w *lineWriter) flush() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.buf) > 0 {
+		w.emit(string(w.buf))
+		w.buf = nil
+	}
+}

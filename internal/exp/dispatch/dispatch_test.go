@@ -1,0 +1,330 @@
+package dispatch
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pracsim/internal/exp/shard"
+	"pracsim/internal/exp/store"
+)
+
+// testSchema stamps the fake shard files the tests exchange.
+const testSchema = 3
+
+// TestMain doubles as the fake worker binary: when the fake-worker env
+// var is set, the test binary behaves like a shard worker — it parses
+// the -shard/-shardout flags the driver appended, writes a valid shard
+// file for its owned slice of a fixed key set, prints a summary trailer
+// and exits. That exercises the driver's default re-exec path (argv
+// construction, output streaming, summary parsing) without needing a
+// real simulator binary on disk.
+func TestMain(m *testing.M) {
+	if os.Getenv("PRACSIM_DISPATCH_FAKE_WORKER") == "1" {
+		fakeWorkerMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// fakeWorkerKeys is the run-key universe the fake worker partitions.
+func fakeWorkerKeys() []string {
+	keys := make([]string, 10)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("pracsim/run/v%d/fake-key-%d", testSchema, i)
+	}
+	return keys
+}
+
+func fakeWorkerMain() {
+	var spArg, out string
+	args := os.Args[1:]
+	for i := 0; i < len(args)-1; i++ {
+		switch args[i] {
+		case "-shard":
+			spArg = args[i+1]
+		case "-shardout":
+			out = args[i+1]
+		}
+	}
+	sp, err := shard.Parse(spArg)
+	if err != nil || out == "" {
+		fmt.Fprintf(os.Stderr, "fake worker: bad args %q: %v\n", args, err)
+		os.Exit(2)
+	}
+	var entries []shard.Entry
+	for _, k := range fakeWorkerKeys() {
+		if sp.Owns(k) {
+			entries = append(entries, shard.Entry{Key: k, Payload: []byte("payload:" + k)})
+		}
+	}
+	fmt.Printf("fake worker running shard %s\n", sp)
+	if err := shard.WriteFile(out, testSchema, sp, entries); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(Summary{
+		Shard:    sp.String(),
+		Runs:     len(entries),
+		Executed: int64(len(entries)),
+		WallMS:   1,
+		Store:    store.Stats{Hits: 7},
+	}.Line())
+}
+
+// writeFakeShardFiles pre-generates one valid shard file per shard of a
+// partition, for template-mode fakes that just `cp` their file into
+// place.
+func writeFakeShardFiles(t *testing.T, dir string, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		sp := shard.Spec{Index: i, Count: count}
+		var entries []shard.Entry
+		for _, k := range fakeWorkerKeys() {
+			if sp.Owns(k) {
+				entries = append(entries, shard.Entry{Key: k, Payload: []byte("payload:" + k)})
+			}
+		}
+		if err := shard.WriteFile(filepath.Join(dir, fmt.Sprintf("pre-%d.runs", i)), testSchema, sp, entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunReexecPool drives the default path end to end: the driver
+// re-execs this test binary as the worker for every shard, validates
+// the shard files, parses the summaries and reports zero retries.
+func TestRunReexecPool(t *testing.T) {
+	t.Setenv("PRACSIM_DISPATCH_FAKE_WORKER", "1")
+	var log bytes.Buffer
+	res, err := Run(Options{
+		Shards: 3,
+		Argv:   []string{os.Args[0]},
+		Dir:    t.TempDir(),
+		Schema: testSchema,
+		Log:    &log,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if len(res.Files) != 3 || len(res.Reports) != 3 {
+		t.Fatalf("got %d files, %d reports; want 3 each", len(res.Files), len(res.Reports))
+	}
+	if res.Retries() != 0 {
+		t.Errorf("clean run reported %d retries", res.Retries())
+	}
+	seen := map[string]bool{}
+	total := 0
+	for i, f := range res.Files {
+		entries, err := shard.ReadFile(f, testSchema)
+		if err != nil {
+			t.Fatalf("shard file %d: %v", i, err)
+		}
+		for _, e := range entries {
+			if seen[e.Key] {
+				t.Errorf("key %s appears in two shard files", e.Key)
+			}
+			seen[e.Key] = true
+		}
+		total += len(entries)
+		rep := res.Reports[i]
+		if rep.Shard.Index != i || rep.Runs != len(entries) {
+			t.Errorf("report %d: %+v does not match file (%d entries)", i, rep, len(entries))
+		}
+		if !rep.HasSummary || rep.Summary.Executed != int64(len(entries)) || rep.Summary.Store.Hits != 7 {
+			t.Errorf("report %d summary not parsed: %+v", i, rep.Summary)
+		}
+	}
+	if total != len(fakeWorkerKeys()) {
+		t.Errorf("shard files hold %d keys, universe has %d", total, len(fakeWorkerKeys()))
+	}
+	// Worker stdout is streamed with a shard prefix; the summary
+	// trailer is lifted out of the stream, not echoed.
+	if !strings.Contains(log.String(), "[shard 0/3 #1] fake worker running shard 0/3") {
+		t.Errorf("worker output not streamed with prefix:\n%s", log.String())
+	}
+	if strings.Contains(log.String(), SummaryPrefix) {
+		t.Errorf("summary trailer echoed into the progress stream:\n%s", log.String())
+	}
+}
+
+// TestRetryExcludesFailedSlot: a worker that dies is retried on a
+// different slot; the attempt that ran on the bad slot is excluded.
+func TestRetryExcludesFailedSlot(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 1)
+	slotDir := t.TempDir()
+	// Slot 0 always fails (recording that it ran); other slots succeed.
+	tmpl := fmt.Sprintf(": > %s/slot-{slot}; if [ {slot} = 0 ]; then echo 'slot 0 is broken' >&2; exit 1; fi; cp %s/pre-{index}.runs {out}",
+		slotDir, pre)
+	var log bytes.Buffer
+	res, err := Run(Options{
+		Shards:   1,
+		Workers:  2,
+		Template: tmpl,
+		Dir:      t.TempDir(),
+		Schema:   testSchema,
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	rep := res.Reports[0]
+	if rep.Attempts != 2 || rep.Slot != 1 {
+		t.Errorf("want retry on slot 1 after slot 0 failed; got attempts=%d slot=%d", rep.Attempts, rep.Slot)
+	}
+	for _, slot := range []string{"slot-0", "slot-1"} {
+		if _, err := os.Stat(filepath.Join(slotDir, slot)); err != nil {
+			t.Errorf("no attempt ran on %s", slot)
+		}
+	}
+	if !strings.Contains(log.String(), "attempt 2 -> slot 1") {
+		t.Errorf("retry not visible in progress log:\n%s", log.String())
+	}
+}
+
+// TestBudgetExhaustionSurfacesStderr: a shard that fails every attempt
+// fails the run, and the error carries the worker's stderr.
+func TestBudgetExhaustionSurfacesStderr(t *testing.T) {
+	_, err := Run(Options{
+		Shards:   2,
+		Template: "echo 'kaboom-7af3: no DRAM model here' >&2; exit 9",
+		Attempts: 2,
+		Dir:      t.TempDir(),
+		Schema:   testSchema,
+	})
+	if err == nil {
+		t.Fatal("exhausted budget did not fail the run")
+	}
+	for _, want := range []string{"after 2 attempt(s)", "kaboom-7af3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestCleanExitWithBadFileIsRetried: exit status 0 with a torn or
+// stale shard file counts as a failure — only a file the merge will
+// accept is convergence.
+func TestCleanExitWithBadFileIsRetried(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 1)
+	mark := filepath.Join(t.TempDir(), "garbled-once")
+	tmpl := fmt.Sprintf("if [ ! -e %s ]; then : > %s; echo 'torn output' > {out}; exit 0; fi; cp %s/pre-{index}.runs {out}",
+		mark, mark, pre)
+	res, err := Run(Options{
+		Shards:   1,
+		Template: tmpl,
+		Dir:      t.TempDir(),
+		Schema:   testSchema,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reports[0].Attempts != 2 {
+		t.Errorf("bad-file attempt not retried: attempts=%d", res.Reports[0].Attempts)
+	}
+	if _, err := shard.ReadFile(res.Files[0], testSchema); err != nil {
+		t.Errorf("final file invalid after retry: %v", err)
+	}
+}
+
+// TestStragglerBackup: once peers have converged, a shard stuck on a
+// slow slot gets a speculative backup on an idle slot and converges
+// through it without waiting out the straggler.
+func TestStragglerBackup(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 2)
+	// Slot 0 hangs far beyond the test horizon; any other slot is fast.
+	tmpl := fmt.Sprintf("if [ {slot} = 0 ]; then sleep 300; exit 1; fi; cp %s/pre-{index}.runs {out}", pre)
+	var log bytes.Buffer
+	start := time.Now()
+	res, err := Run(Options{
+		Shards:          2,
+		Workers:         2,
+		Template:        tmpl,
+		Dir:             t.TempDir(),
+		Schema:          testSchema,
+		Log:             &log,
+		StragglerFactor: 1.5,
+		StragglerMin:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Errorf("dispatch waited out the straggler (%.1fs)", took.Seconds())
+	}
+	slow := res.Reports[0] // shard 0 landed on slot 0 first
+	if slow.Attempts != 2 || slow.Slot == 0 {
+		t.Errorf("straggling shard should converge via backup on another slot; got attempts=%d slot=%d",
+			slow.Attempts, slow.Slot)
+	}
+	if !strings.Contains(log.String(), "straggling") {
+		t.Errorf("straggler backup not visible in progress log:\n%s", log.String())
+	}
+}
+
+// TestSummaryRoundTrip pins the worker trailer wire format.
+func TestSummaryRoundTrip(t *testing.T) {
+	in := Summary{
+		Shard:    "1/3",
+		Runs:     16,
+		Executed: 9,
+		WallMS:   1234,
+		Store:    store.Stats{Hits: 7, Misses: 9, Writes: 9, BytesRead: 100, BytesWritten: 300},
+	}
+	out, ok := ParseSummaryLine(in.Line())
+	if !ok || out != in {
+		t.Errorf("round trip: got %+v, %v; want %+v", out, ok, in)
+	}
+	for _, line := range []string{"", "running fig12...", SummaryPrefix + "not json"} {
+		if _, ok := ParseSummaryLine(line); ok {
+			t.Errorf("ParseSummaryLine(%q) accepted", line)
+		}
+	}
+}
+
+// TestExpandTemplate pins the placeholder contract fleet templates
+// (ssh/container wrappers) rely on.
+func TestExpandTemplate(t *testing.T) {
+	argv := []string{"/bin/tpracsim", "-exp", "all", "-store", "/tmp/my store", "-shard", "1/3", "-shardout", "/w/out.runs"}
+	sp := shard.Spec{Index: 1, Count: 3}
+	got := expandTemplate("ssh host{slot} {args} # {shard} {index}/{count} -> {out}", argv, sp, 2, "/w/out.runs")
+	want := "ssh host2 /bin/tpracsim -exp all -store '/tmp/my store' -shard 1/3 -shardout /w/out.runs # 1/3 1/3 -> /w/out.runs"
+	if got != want {
+		t.Errorf("expandTemplate:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestShellQuote: quoting must survive sh -c for the characters argv
+// words actually contain.
+func TestShellQuote(t *testing.T) {
+	cases := map[string]string{
+		"plain":        "plain",
+		"":             "''",
+		"with space":   "'with space'",
+		"don't":        `'don'\''t'`,
+		"$HOME;rm -rf": `'$HOME;rm -rf'`,
+	}
+	for in, want := range cases {
+		if got := shellQuote(in); got != want {
+			t.Errorf("shellQuote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRunOptionValidation: nonsense options fail fast, before any
+// process spawns.
+func TestRunOptionValidation(t *testing.T) {
+	if _, err := Run(Options{Shards: 0, Argv: []string{"x"}}); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := Run(Options{Shards: 2}); err == nil {
+		t.Error("no worker command accepted")
+	}
+}

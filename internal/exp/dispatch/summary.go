@@ -1,0 +1,49 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"strings"
+
+	"pracsim/internal/exp/store"
+)
+
+// SummaryPrefix marks the machine-readable trailer a shard worker
+// prints on stdout. The driver lifts the trailer out of the stream into
+// the shard's report instead of echoing it, so the per-shard session
+// summary (runs, executed simulations, wall-clock, store traffic)
+// survives the fan-out without scraping human-formatted output.
+const SummaryPrefix = "dispatch-summary: "
+
+// Summary is one shard worker's self-reported session outcome.
+type Summary struct {
+	Shard    string      `json:"shard"`
+	Runs     int         `json:"runs"`     // owned runs in the shard file
+	Executed int64       `json:"executed"` // simulations actually run (store hits excluded)
+	WallMS   int64       `json:"wall_ms"`  // worker wall-clock
+	Store    store.Stats `json:"store"`    // worker's store traffic (zero without a store)
+}
+
+// Line renders the trailer as the single stdout line workers print.
+func (s Summary) Line() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Summary is plain data; Marshal cannot fail on it. Keep the
+		// trailer contract anyway.
+		return SummaryPrefix + "{}"
+	}
+	return SummaryPrefix + string(b)
+}
+
+// ParseSummaryLine recognizes and decodes a worker summary trailer;
+// ok is false for any other line.
+func ParseSummaryLine(line string) (Summary, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), SummaryPrefix)
+	if !ok {
+		return Summary{}, false
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(rest), &s); err != nil {
+		return Summary{}, false
+	}
+	return s, true
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pracsim/internal/exp/dispatch"
+	"pracsim/internal/exp/shard"
+	"pracsim/internal/sim"
+)
+
+// exportShardFiles runs a sharded session per shard at storeScale and
+// exports real shard files — the ground truth a fake dispatch worker
+// copies into place, so the dispatcher's retry/merge path is exercised
+// against genuine simulation results without rebuilding the CLI binary.
+func exportShardFiles(t *testing.T, dir string, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		sp := shard.Spec{Index: i, Count: count}
+		sess := NewRunnerWith(storeScale(), SessionOptions{Shard: sp})
+		if _, err := sess.Fig12(); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if _, err := sess.ExportShard(filepath.Join(dir, fmt.Sprintf("pre-%d.runs", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDispatchWorkerKilledRetriesAndMergesBitIdentical is the dispatch
+// contract end to end: shard 1's first worker is killed mid-shard, the
+// driver retries it on another slot, and the merged session assembles
+// figures bit-identical to an unsharded run with zero new simulations.
+func TestDispatchWorkerKilledRetriesAndMergesBitIdentical(t *testing.T) {
+	reference := NewRunner(storeScale())
+	want, err := reference.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pre := t.TempDir()
+	exportShardFiles(t, pre, 2)
+	mark := filepath.Join(t.TempDir(), "killed-once")
+	// First attempt at shard 1 dies by SIGKILL before producing a file;
+	// every other attempt copies the real shard file into place.
+	tmpl := fmt.Sprintf(
+		"if [ {index} = 1 ] && [ ! -e %s ]; then : > %s; echo 'worker lost' >&2; kill -KILL $$; fi; cp %s/pre-{index}.runs {out}",
+		mark, mark, pre)
+
+	var log bytes.Buffer
+	res, err := dispatch.Run(dispatch.Options{
+		Shards:   2,
+		Workers:  2,
+		Template: tmpl,
+		Attempts: 3,
+		Dir:      t.TempDir(),
+		Schema:   sim.SchemaVersion,
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatalf("dispatch: %v\nlog:\n%s", err, log.String())
+	}
+	if res.Retries() != 1 || res.Reports[1].Attempts != 2 {
+		t.Errorf("killed worker should cost exactly one retry on shard 1; reports: %+v", res.Reports)
+	}
+	if !strings.Contains(log.String(), "shard 1/2 attempt 2") {
+		t.Errorf("retry not visible in progress log:\n%s", log.String())
+	}
+
+	merge := NewRunner(storeScale())
+	imported, err := merge.ImportShards(res.Files...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(imported) != reference.Executed() {
+		t.Errorf("imported %d runs, unsharded reference executed %d", imported, reference.Executed())
+	}
+	got, err := merge.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := merge.Executed(); n != 0 {
+		t.Errorf("merged session executed %d simulations, want 0", n)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("dispatched result differs:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Render() != want.Render() || got.CSV() != want.CSV() {
+		t.Error("dispatched render/CSV not byte-identical to unsharded run")
+	}
+}
+
+// TestDispatchBudgetExhaustedFailsWithStderr: a shard whose every
+// attempt fails must fail the whole dispatch, surfacing the worker's
+// stderr so the operator sees why the fleet could not converge.
+func TestDispatchBudgetExhaustedFailsWithStderr(t *testing.T) {
+	pre := t.TempDir()
+	exportShardFiles(t, pre, 2)
+	// Shard 0 converges; shard 1 is beyond saving.
+	tmpl := fmt.Sprintf(
+		"if [ {index} = 1 ]; then echo 'trace catalog missing on this host' >&2; exit 7; fi; cp %s/pre-{index}.runs {out}",
+		pre)
+	_, err := dispatch.Run(dispatch.Options{
+		Shards:   2,
+		Workers:  2,
+		Template: tmpl,
+		Attempts: 2,
+		Dir:      t.TempDir(),
+		Schema:   sim.SchemaVersion,
+	})
+	if err == nil {
+		t.Fatal("exhausted shard did not fail the dispatch")
+	}
+	for _, want := range []string{"shard 1/2", "after 2 attempt(s)", "trace catalog missing on this host"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("dispatch error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestImportShardsRejectsEmptyPath: a torn -merge list reaching the
+// session must fail as an empty path, not as a confusing open("").
+func TestImportShardsRejectsEmptyPath(t *testing.T) {
+	sess := NewRunner(storeScale())
+	if _, err := sess.ImportShards(""); err == nil || !strings.Contains(err.Error(), "empty shard file path") {
+		t.Errorf("ImportShards(\"\") = %v, want empty-path error", err)
+	}
+}
+
+// TestSessionSummary: the worker-trailer counters agree with the
+// session's own accessors.
+func TestSessionSummary(t *testing.T) {
+	st := openStore(t)
+	sess := NewRunnerWith(storeScale(), SessionOptions{Store: st})
+	if _, err := sess.Fig12(); err != nil {
+		t.Fatal(err)
+	}
+	sum := sess.Summary()
+	if sum.Executed != sess.Executed() || sum.CachedRuns != sess.CachedRuns() || sum.Store != sess.StoreStats() {
+		t.Errorf("summary %+v disagrees with session accessors", sum)
+	}
+	if sum.Executed == 0 || sum.Store.Writes == 0 {
+		t.Errorf("cold session summary implausible: %+v", sum)
+	}
+}

@@ -91,6 +91,29 @@ func (s *Runner) StoreStats() store.Stats {
 	return s.r.store.Stats()
 }
 
+// SessionSummary snapshots a session's execution counters in one plain
+// struct — what a shard worker reports back to the dispatch driver and
+// what the CLIs print per session.
+type SessionSummary struct {
+	// Executed counts simulations actually run (store hits and imported
+	// shard results excluded).
+	Executed int64
+	// CachedRuns counts distinct resolved run keys (the single-flight
+	// cache size).
+	CachedRuns int
+	// Store is the persistent store's traffic; zero without a store.
+	Store store.Stats
+}
+
+// Summary snapshots the session's execution counters.
+func (s *Runner) Summary() SessionSummary {
+	return SessionSummary{
+		Executed:   s.Executed(),
+		CachedRuns: s.CachedRuns(),
+		Store:      s.StoreStats(),
+	}
+}
+
 // ExportShard writes every owned run this session resolved — executed,
 // or served by a warm store or seed — to a shard result file (sorted by
 // run key, so the file is deterministic), reporting how many runs it
@@ -120,6 +143,11 @@ func (s *Runner) ImportShards(paths ...string) (int, error) {
 		sim.SchemaVersion, s.r.scale.Warmup, s.r.scale.Measured)
 	total := 0
 	for _, path := range paths {
+		if path == "" {
+			// A torn CLI list ("a.runs,") must fail as what it is, not
+			// as a confusing open("") error.
+			return total, errors.New("exp: empty shard file path")
+		}
 		entries, err := shard.ReadFile(path, sim.SchemaVersion)
 		if err != nil {
 			return total, err

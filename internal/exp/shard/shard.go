@@ -17,9 +17,12 @@ package shard
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -90,11 +93,17 @@ type header struct {
 
 // WriteFile emits a shard result file. Entries are written sorted by key,
 // so a shard's output is deterministic regardless of execution order.
+//
+// The file is published atomically (temp file + rename, the store's
+// pattern): a worker crashing or being killed mid-write leaves no file
+// behind rather than a torn one, and a concurrent reader — the
+// dispatcher merging while a straggler's backup attempt is still
+// running — only ever observes a complete, self-consistent file.
 func WriteFile(path string, schema int, sp Spec, entries []Entry) error {
 	sorted := make([]Entry, len(entries))
 	copy(sorted, entries)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
-	var buf strings.Builder
+	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(header{Format: format, Schema: schema, Shard: sp.String(), Runs: len(sorted)}); err != nil {
 		return fmt.Errorf("shard: %w", err)
@@ -104,7 +113,25 @@ func WriteFile(path string, schema int, sp Spec, entries []Entry) error {
 			return fmt.Errorf("shard: %w", err)
 		}
 	}
-	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+	// The temp file is opened with the final 0644 (umask applies, as it
+	// did under os.WriteFile) rather than CreateTemp's 0600-plus-chmod,
+	// which would force world-readable files past a restrictive umask.
+	// The pid suffix keeps concurrent processes apart; within a process
+	// every attempt writes a distinct path.
+	tmpName := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+	tmp, err := os.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	return nil
@@ -113,40 +140,67 @@ func WriteFile(path string, schema int, sp Spec, entries []Entry) error {
 // ReadFile parses a shard result file, rejecting files from another
 // format or simulator schema (a stale shard must never be merged into
 // figures silently).
+//
+// Entries stream through a json.Decoder rather than a line scanner: a
+// full-scale shard entry can exceed any fixed line buffer (the previous
+// scanner capped lines at 16 MiB and failed with "token too long"), and
+// the decoder reads values, not lines, so entry size is bounded only by
+// memory. The header/Runs count check still catches truncation.
 func ReadFile(path string, schema int) ([]Entry, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("shard: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("shard: %s: empty file", path)
-	}
-	var h header
-	if err := json.Unmarshal(sc.Bytes(), &h); err != nil || h.Format != format {
-		return nil, fmt.Errorf("shard: %s is not a %s file", path, format)
-	}
-	if h.Schema != schema {
-		return nil, fmt.Errorf("shard: %s has schema %d, this simulator is schema %d", path, h.Schema, schema)
-	}
 	var entries []Entry
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("shard: %s entry %d: %w", path, len(entries), err)
-		}
-		entries = append(entries, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("shard: %s: %w", path, err)
-	}
-	if len(entries) != h.Runs {
-		return nil, fmt.Errorf("shard: %s holds %d runs, header says %d (truncated?)", path, len(entries), h.Runs)
+	if _, err := scanFile(path, schema, func(e Entry) { entries = append(entries, e) }); err != nil {
+		return nil, err
 	}
 	return entries, nil
+}
+
+// Validate streams a shard file through the same format, schema and
+// truncation checks as ReadFile but discards the entries, reporting
+// only how many runs the file holds — the dispatcher's convergence
+// check, which must not hold a full-scale shard in memory just to
+// count it.
+func Validate(path string, schema int) (int, error) {
+	return scanFile(path, schema, nil)
+}
+
+// scanFile is the shared streaming reader: header checks, per-entry
+// decode (delivered to each when non-nil) and the Runs count check.
+func scanFile(path string, schema int, each func(Entry)) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("shard: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(bufio.NewReader(f))
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, fmt.Errorf("shard: %s: empty file", path)
+		}
+		return 0, fmt.Errorf("shard: %s is not a %s file", path, format)
+	}
+	if h.Format != format {
+		return 0, fmt.Errorf("shard: %s is not a %s file", path, format)
+	}
+	if h.Schema != schema {
+		return 0, fmt.Errorf("shard: %s has schema %d, this simulator is schema %d", path, h.Schema, schema)
+	}
+	count := 0
+	for {
+		var e Entry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return 0, fmt.Errorf("shard: %s entry %d: %w", path, count, err)
+		}
+		if each != nil {
+			each(e)
+		}
+		count++
+	}
+	if count != h.Runs {
+		return 0, fmt.Errorf("shard: %s holds %d runs, header says %d (truncated?)", path, count, h.Runs)
+	}
+	return count, nil
 }

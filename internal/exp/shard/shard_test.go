@@ -101,6 +101,61 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLargeEntryRoundTrips: a full-scale shard entry far exceeds any
+// line buffer (the old scanner capped lines at 16 MiB and failed with
+// "token too long"); the streaming decoder must round-trip it.
+func TestLargeEntryRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.runs")
+	big := make([]byte, 17*1024*1024) // >16 MiB raw, ~23 MiB as a base64 JSON line
+	for i := range big {
+		big[i] = byte(i)
+	}
+	entries := []Entry{{Key: "big-run", Payload: big}, {Key: "small", Payload: []byte("x")}}
+	if err := WriteFile(path, 3, Spec{0, 1}, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path, 3)
+	if err != nil {
+		t.Fatalf("large entry failed to read back: %v", err)
+	}
+	if len(got) != 2 || got[0].Key != "big-run" || !reflect.DeepEqual(got[0].Payload, big) {
+		t.Error("large entry did not round-trip intact")
+	}
+}
+
+// TestWriteFileAtomic: WriteFile publishes via temp file + rename, so
+// the target directory never holds a partial shard file or leftover
+// temp debris, and overwriting an existing file swaps it whole.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.runs")
+	if err := WriteFile(path, 3, Spec{0, 2}, []Entry{{Key: "a", Payload: []byte("1")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, 3, Spec{0, 2}, []Entry{{Key: "a", Payload: []byte("2")}, {Key: "b", Payload: []byte("3")}}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name() != "s.runs" {
+		var names []string
+		for _, f := range files {
+			names = append(names, f.Name())
+		}
+		t.Errorf("directory holds %v, want just s.runs (temp debris?)", names)
+	}
+	if got, err := ReadFile(path, 3); err != nil || len(got) != 2 {
+		t.Errorf("overwrite not whole: %d entries, %v", len(got), err)
+	}
+	// A write into a missing directory fails cleanly instead of leaving
+	// anything behind.
+	if err := WriteFile(filepath.Join(dir, "absent", "s.runs"), 3, Spec{0, 2}, nil); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+}
+
 // TestReadFileRejects: wrong schema, wrong format and truncation are
 // refused — a stale or torn shard must never merge silently.
 func TestReadFileRejects(t *testing.T) {

@@ -56,18 +56,29 @@ func DefaultDir() (string, error) {
 // OpenMode resolves a CLI -store flag: "auto" opens the store at
 // DefaultDir, "off"/"none"/"" disables persistence (nil store), and
 // anything else is a directory path.
-func OpenMode(mode string) (*Store, error) {
+//
+// "auto" is best-effort: the store is strictly a cache, so when the
+// user cache directory cannot be resolved or created (no $HOME in a CI
+// container, a read-only home) the mode degrades to store-off and
+// returns a one-line warning for the CLI to print, instead of failing
+// an invocation that never asked for persistence by name. An explicit
+// directory still fails hard — the user asked for that location.
+func OpenMode(mode string) (st *Store, warning string, err error) {
 	switch mode {
 	case "off", "none", "":
-		return nil, nil
+		return nil, "", nil
 	case "auto":
-		dir, err := DefaultDir()
-		if err != nil {
-			return nil, err
+		dir, derr := DefaultDir()
+		if derr == nil {
+			if st, err = Open(dir); err == nil {
+				return st, "", nil
+			}
+			derr = err
 		}
-		return Open(dir)
+		return nil, fmt.Sprintf("run store disabled (%v); pass -store DIR to persist runs", derr), nil
 	default:
-		return Open(mode)
+		st, err = Open(mode)
+		return st, "", err
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -129,15 +131,43 @@ func TestCraftedLengthIsAMissNotAPanic(t *testing.T) {
 // TestOpenMode pins the CLI flag resolution shared by the cmd binaries.
 func TestOpenMode(t *testing.T) {
 	for _, mode := range []string{"off", "none", ""} {
-		st, err := OpenMode(mode)
-		if st != nil || err != nil {
-			t.Errorf("OpenMode(%q) = %v, %v; want nil store", mode, st, err)
+		st, warn, err := OpenMode(mode)
+		if st != nil || warn != "" || err != nil {
+			t.Errorf("OpenMode(%q) = %v, %q, %v; want nil store", mode, st, warn, err)
 		}
 	}
 	dir := t.TempDir()
-	st, err := OpenMode(dir)
-	if err != nil || st == nil || st.Dir() != dir {
-		t.Errorf("OpenMode(dir) = %v, %v", st, err)
+	st, warn, err := OpenMode(dir)
+	if err != nil || warn != "" || st == nil || st.Dir() != dir {
+		t.Errorf("OpenMode(dir) = %v, %q, %v", st, warn, err)
+	}
+}
+
+// TestOpenModeAutoDegradesToOff: the store is strictly a cache, so an
+// environment where the user cache directory cannot be resolved (no
+// $HOME — CI containers) must degrade "auto" to store-off with a
+// warning, not fail the CLI. An explicit directory still fails hard.
+func TestOpenModeAutoDegradesToOff(t *testing.T) {
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	st, warn, err := OpenMode("auto")
+	if err != nil {
+		t.Fatalf("OpenMode(auto) hard-failed without a cache dir: %v", err)
+	}
+	if st != nil {
+		t.Errorf("OpenMode(auto) opened a store at %q without a cache dir", st.Dir())
+	}
+	if warn == "" || !strings.Contains(warn, "-store DIR") {
+		t.Errorf("degraded OpenMode(auto) warning unhelpful: %q", warn)
+	}
+	// The explicit-path contract is unchanged: the user named the
+	// location, so failing to create it is an error.
+	bad := filepath.Join(t.TempDir(), "not-a-dir")
+	if werr := os.WriteFile(bad, []byte("file in the way"), 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	if _, _, err := OpenMode(filepath.Join(bad, "sub")); err == nil {
+		t.Error("OpenMode(explicit unusable dir) did not fail")
 	}
 }
 

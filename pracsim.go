@@ -20,6 +20,7 @@ import (
 	"pracsim/internal/attack"
 	"pracsim/internal/dram"
 	"pracsim/internal/exp"
+	"pracsim/internal/exp/dispatch"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	"pracsim/internal/mitigation"
@@ -146,6 +147,19 @@ type (
 	RunStore = store.Store
 	// ShardSpec selects one deterministic shard of a partitioned grid.
 	ShardSpec = shard.Spec
+	// DispatchOptions configures a shard-dispatch fleet run: worker
+	// count, command (re-exec or sh -c fleet template), per-shard
+	// attempt budget and straggler policy.
+	DispatchOptions = dispatch.Options
+	// DispatchResult is a converged dispatch: one validated shard file
+	// per shard plus per-shard reports (slot, attempts, runs, wall,
+	// worker summary).
+	DispatchResult = dispatch.Result
+	// DispatchShardReport summarizes one converged shard.
+	DispatchShardReport = dispatch.ShardReport
+	// WorkerSummary is the machine-readable trailer a shard worker
+	// prints; the driver folds it into the shard's report.
+	WorkerSummary = dispatch.Summary
 )
 
 var (
@@ -160,6 +174,10 @@ var (
 	DefaultRunStoreDir = store.DefaultDir
 	// ParseShard reads an "i/n" shard spec.
 	ParseShard = shard.Parse
+	// Dispatch spawns `-shard i/n` workers across a pool, retries
+	// failures and stragglers, and returns validated shard files for
+	// ImportShards to merge — the one-command fleet run.
+	Dispatch = dispatch.Run
 
 	// QuickScale is the minutes-scale experiment configuration.
 	QuickScale = exp.QuickScale
