@@ -12,7 +12,7 @@
 // Usage:
 //
 //	pracleak -exp fig3|table2|fig4|fig5|fig9|all [-quick] [-workers N]
-//	         [-store DIR|auto|off] [-csvdir DIR]
+//	         [-store DIR|URL|auto|off] [-csvdir DIR]
 package main
 
 import (
@@ -42,11 +42,11 @@ func main() {
 	which := flag.String("exp", "all", "experiment: fig3, table2, fig4, fig5, fig9 or all")
 	quick := flag.Bool("quick", false, "reduced sweep sizes for fast runs")
 	workers := flag.Int("workers", 0, "concurrent sweep simulations (0 = all cores, 1 = serial)")
-	storeMode := flag.String("store", "auto", "persistent result store: a directory, 'auto' (user cache dir) or 'off'")
+	storeMode := flag.String("store", "auto", "persistent result store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
-	st, warn, err := store.OpenMode(*storeMode)
+	st, warn, err := store.ResolveBackend(*storeMode)
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "pracleak: "+warn)
 	}
@@ -132,6 +132,6 @@ func main() {
 		}
 	}
 	if st != nil {
-		fmt.Println(st.Stats().Report(st.Dir()))
+		fmt.Println(st.Stats().Report(st.Spec()))
 	}
 }

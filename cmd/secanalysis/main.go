@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	secanalysis [-empirical] [-nbo N] [-store DIR|auto|off] [-csvdir DIR]
+//	secanalysis [-empirical] [-nbo N] [-store DIR|URL|auto|off] [-csvdir DIR]
 package main
 
 import (
@@ -26,11 +26,11 @@ import (
 func main() {
 	empirical := flag.Bool("empirical", false, "also run a live Feinting attack against the solved window")
 	nbo := flag.Int("nbo", 256, "Back-Off threshold for the empirical validation")
-	storeMode := flag.String("store", "auto", "persistent result store: a directory, 'auto' (user cache dir) or 'off'")
+	storeMode := flag.String("store", "auto", "persistent result store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
 	csvDir := flag.String("csvdir", "", "directory to write fig7.csv into (optional)")
 	flag.Parse()
 
-	st, warn, err := store.OpenMode(*storeMode)
+	st, warn, err := store.ResolveBackend(*storeMode)
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "secanalysis: "+warn)
 	}
@@ -46,7 +46,7 @@ func main() {
 		os.Exit(1)
 	}
 	if st != nil {
-		fmt.Println(st.Stats().Report(st.Dir()))
+		fmt.Println(st.Stats().Report(st.Spec()))
 	}
 	fmt.Println(res.Render())
 	if *csvDir != "" {

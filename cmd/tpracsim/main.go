@@ -19,13 +19,21 @@
 // retries failures and stragglers on other worker slots, auto-merges
 // the shard files and renders the figures in one command.
 //
+// The -store flag also takes a pracstored URL (`-store
+// http://host:8420`, see cmd/pracstored): the session then reads through
+// a local disk cache into the shared server, and a dispatch fleet
+// pointed at one warm server executes nothing anywhere. An unreachable
+// or corrupt server degrades to local recompute — never a crash or a
+// wrong figure.
+//
 // Usage:
 //
 //	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|rfmpb|all
 //	         [-scale quick|full] [-workers N] [-serial]
-//	         [-store DIR|auto|off] [-shard i/n [-shardout FILE]]
+//	         [-store DIR|URL|auto|off] [-shard i/n [-shardout FILE]]
 //	         [-merge FILE,FILE,...] [-csvdir DIR]
 //	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]]
+//	tpracsim -store-info|-store-prune [-store DIR|URL|auto]
 package main
 
 import (
@@ -64,7 +72,9 @@ func main() {
 	serial := flag.Bool("serial", false, "force single-threaded execution (same results, for debugging)")
 	perCycle := flag.Bool("percycle", false, "tick every component every cycle instead of eliding idle cycles (same results, slower)")
 	differential := flag.Bool("differential", false, "run every simulation under both clockings and fail on any divergence")
-	storeMode := flag.String("store", "auto", "persistent run store: a directory, 'auto' (user cache dir) or 'off'")
+	storeMode := flag.String("store", "auto", "persistent run store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
+	storeInfo := flag.Bool("store-info", false, "print the store's entry count, bytes, age range and per-schema footprint, then exit")
+	storePrune := flag.Bool("store-prune", false, "delete entries from orphaned (non-current) schema versions, then exit")
 	shardArg := flag.String("shard", "", "execute only shard i/n of the run keys and write a shard file instead of reports")
 	shardOut := flag.String("shardout", "", "shard result file to write (default shard-i-of-n.runs)")
 	mergeArg := flag.String("merge", "", "comma-separated shard files to import before running")
@@ -89,12 +99,20 @@ func main() {
 	scale.PerCycle = *perCycle
 	scale.Differential = *differential
 
-	st, warn, err := store.OpenMode(*storeMode)
+	st, warn, err := store.ResolveBackend(*storeMode)
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "tpracsim: "+warn)
 	}
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *storeInfo || *storePrune {
+		if st == nil {
+			fmt.Fprintln(os.Stderr, "tpracsim: -store-info/-store-prune need a store; pass -store DIR or -store http://host:port")
+			os.Exit(2)
+		}
+		runStoreMaintenance(st, *storePrune, *storeInfo)
+		return
 	}
 	if *dispatchN > 0 && (*perCycle || *differential) {
 		// The validation clockings exist to actually execute every
@@ -242,8 +260,11 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 	if serial {
 		args = append(args, "-serial")
 	}
+	// Workers re-resolve the spec themselves: a directory reopens the
+	// same disk store, a pracstored URL gives every fleet worker its own
+	// local tier over the one shared server.
 	if st != nil {
-		args = append(args, "-store", st.Dir())
+		args = append(args, "-store", st.Spec())
 	} else {
 		args = append(args, "-store", "off")
 	}
@@ -273,15 +294,17 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 		return err
 	}
 
-	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "runs", "executed", "wall-s", "store-hits", "store-misses"}}
+	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-misses"}}
 	for _, r := range res.Reports {
-		executed, hits, misses := "?", "?", "?"
+		executed, hits, misses, rhits, rmisses := "?", "?", "?", "?", "?"
 		if r.HasSummary {
 			executed = strconv.FormatInt(r.Summary.Executed, 10)
 			hits = strconv.FormatInt(r.Summary.Store.Hits, 10)
 			misses = strconv.FormatInt(r.Summary.Store.Misses, 10)
+			rhits = strconv.FormatInt(r.Summary.Store.Remote.Hits, 10)
+			rmisses = strconv.FormatInt(r.Summary.Store.Remote.Misses, 10)
 		}
-		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Runs, executed, r.Wall.Seconds(), hits, misses)
+		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rmisses)
 	}
 	fmt.Printf("dispatch: %d shard(s) converged in %.1fs, %d retried attempt(s)\n%s",
 		len(res.Reports), res.Wall.Seconds(), res.Retries(), t.String())
@@ -292,4 +315,30 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 	}
 	fmt.Printf("merged %d runs from %d dispatched shard(s)\n", imported, len(res.Files))
 	return nil
+}
+
+// runStoreMaintenance serves -store-info / -store-prune: the
+// maintenance surface works identically against a directory and a
+// pracstored server, because both sit behind the same Backend interface.
+// Prune runs before info, so `-store-prune -store-info` shows the
+// after-state.
+func runStoreMaintenance(st *store.Store, prune, info bool) {
+	b := st.Backend()
+	if prune {
+		current := fmt.Sprintf("v%d", sim.SchemaVersion)
+		n, bytes, err := store.Prune(b, current)
+		if err != nil {
+			fatalf("pruning %s: %v", st.Spec(), err)
+		}
+		fmt.Printf("pruned %d entries (%.1f KB) from schema versions other than %s\n",
+			n, float64(bytes)/1024, current)
+	}
+	if info {
+		rep, err := store.Collect(b)
+		if err != nil {
+			fatalf("listing %s: %v", st.Spec(), err)
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("current schema: v%d\n", sim.SchemaVersion)
+	}
 }

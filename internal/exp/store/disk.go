@@ -1,0 +1,320 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// magic stamps the entry-file format; a format change bumps the suffix.
+const magic = "pracstore1\n"
+
+// EncodeFrame frames a (key, payload) pair into the self-validating
+// entry format shared by the disk files and the pracstored wire
+// protocol:
+//
+//	magic | keyLen uvarint | key | payloadLen uvarint | payload | sha256(payload)
+func EncodeFrame(key string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var lenbuf [binary.MaxVarintLen64]byte
+	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(key)))])
+	buf.WriteString(key)
+	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(payload)))])
+	buf.Write(payload)
+	sum := sha256.Sum256(payload)
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// DecodeFrame validates a framed entry against the expected key and
+// returns its payload. Any deviation — wrong magic, truncation, a
+// different key under the same hash, a checksum mismatch — is an error.
+func DecodeFrame(data []byte, key string) ([]byte, error) {
+	gotKey, payload, err := DecodeFrameAny(data)
+	if err != nil {
+		return nil, err
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("store: key mismatch (hash collision or tampering)")
+	}
+	return payload, nil
+}
+
+// parseFrameHeader reads a frame's prefix — magic, key, payload length —
+// without touching the payload, reporting where the payload starts. The
+// one parser both full validation (DecodeFrameAny) and cheap metadata
+// (Disk.Stat) build on.
+func parseFrameHeader(data []byte) (key string, payLen uint64, headerLen int, err error) {
+	if !bytes.HasPrefix(data, []byte(magic)) {
+		return "", 0, 0, fmt.Errorf("store: bad magic")
+	}
+	rest := data[len(magic):]
+	keyLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < keyLen {
+		return "", 0, 0, fmt.Errorf("store: truncated key")
+	}
+	rest = rest[n:]
+	key = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	payLen, m := binary.Uvarint(rest)
+	if m <= 0 {
+		return "", 0, 0, fmt.Errorf("store: truncated payload length")
+	}
+	return key, payLen, len(magic) + n + int(keyLen) + m, nil
+}
+
+// DecodeFrameAny validates a framed entry without an expected key and
+// returns the key it carries alongside the payload — the server's PUT
+// validation, which learns the key from the frame itself.
+func DecodeFrameAny(data []byte) (key string, payload []byte, err error) {
+	key, payLen, headerLen, err := parseFrameHeader(data)
+	if err != nil {
+		return "", nil, err
+	}
+	rest := data[headerLen:]
+	// Compare without adding to payLen: a crafted length near 2^64 must
+	// fail here, not wrap around and panic in the slice expression.
+	if uint64(len(rest)) < payLen || uint64(len(rest))-payLen != sha256.Size {
+		return "", nil, fmt.Errorf("store: truncated payload")
+	}
+	payload = rest[:payLen]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], rest[payLen:]) {
+		return "", nil, fmt.Errorf("store: payload checksum mismatch")
+	}
+	return key, payload, nil
+}
+
+// Disk is the local-directory backend: one checksummed entry file per
+// key, named by the key's hash. Writes go through a temp file and an
+// atomic rename, so concurrent writers (even across processes sharing
+// one store directory) only ever publish complete, self-validating
+// entries. The on-disk format predates the Backend split and is
+// unchanged: stores written by earlier releases read back as-is.
+type Disk struct {
+	dir string
+}
+
+// OpenDisk creates (if needed) and returns the disk backend rooted at dir.
+func OpenDisk(dir string) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir reports the backend's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Spec reports the -store argument that reopens this backend.
+func (d *Disk) Spec() string { return d.dir }
+
+func (d *Disk) path(key string) string { return d.hashPath(Hash(key)) }
+
+func (d *Disk) hashPath(hash string) string {
+	return filepath.Join(d.dir, hash+".run")
+}
+
+// Get returns the payload stored under key: ErrNotFound when absent, a
+// validation error when the entry is truncated, corrupted or colliding.
+func (d *Disk) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return DecodeFrame(data, key)
+}
+
+// Put stores payload under key via the atomic temp-file + rename path.
+func (d *Disk) Put(key string, payload []byte) error {
+	return d.writeAtomic(d.path(key), EncodeFrame(key, payload))
+}
+
+// Stat describes the entry under key without reading its payload: only
+// the frame header is parsed, and the file size is checked against the
+// declared payload length (so truncation reads as absent). The payload
+// checksum is Get's job — Stat answers "is a plausible entry there and
+// how big is it", which is what Stat-before-Put and maintenance need.
+func (d *Disk) Stat(key string) (Info, error) {
+	f, err := os.Open(d.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Info{}, ErrNotFound
+		}
+		return Info{}, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Info{}, fmt.Errorf("store: %w", err)
+	}
+	// Run keys are a couple hundred bytes; a header that does not fit
+	// in this prefix is not one of ours.
+	buf := make([]byte, 4096)
+	n, rerr := io.ReadFull(f, buf)
+	if rerr != nil && rerr != io.ErrUnexpectedEOF {
+		return Info{}, fmt.Errorf("store: %w", rerr)
+	}
+	gotKey, payLen, headerLen, err := parseFrameHeader(buf[:n])
+	if err != nil {
+		return Info{}, err
+	}
+	if gotKey != key {
+		return Info{}, fmt.Errorf("store: key mismatch (hash collision or tampering)")
+	}
+	if uint64(fi.Size()) != uint64(headerLen)+payLen+sha256.Size {
+		return Info{}, fmt.Errorf("store: truncated payload")
+	}
+	return Info{Key: key, Size: int64(payLen), ModTime: fi.ModTime()}, nil
+}
+
+// List enumerates every valid entry in the directory. Files that are not
+// entries or fail validation are skipped: the maintenance surface must
+// work on damaged stores.
+func (d *Disk) List() ([]Info, error) {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var infos []Info
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".run") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(d.dir, name))
+		if err != nil {
+			continue
+		}
+		key, payload, err := DecodeFrameAny(data)
+		if err != nil || Hash(key)+".run" != name {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		infos = append(infos, Info{Key: key, Size: int64(len(payload)), ModTime: fi.ModTime()})
+	}
+	return infos, nil
+}
+
+// Delete removes the entry under key.
+func (d *Disk) Delete(key string) error {
+	err := os.Remove(d.path(key))
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Footprint reports the directory's raw entry count and file bytes
+// without validating entries — cheap enough for a metrics scrape.
+func (d *Disk) Footprint() (entries int, bytes int64, err error) {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".run") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += fi.Size()
+	}
+	return entries, bytes, nil
+}
+
+// GetFrame returns the raw framed entry stored under a content hash —
+// the pracstored read path, which serves frames without knowing keys.
+func (d *Disk) GetFrame(hash string) ([]byte, time.Time, error) {
+	path := d.hashPath(hash)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, time.Time{}, ErrNotFound
+		}
+		return nil, time.Time{}, fmt.Errorf("store: %w", err)
+	}
+	mtime := time.Time{}
+	if fi, err := os.Stat(path); err == nil {
+		mtime = fi.ModTime()
+	}
+	return data, mtime, nil
+}
+
+// ErrBadFrame wraps PutFrame's validation failures, so callers (the
+// pracstored PUT handler) can blame the uploader (HTTP 400) for a bad
+// frame and the storage (HTTP 500) for everything else.
+var ErrBadFrame = errors.New("store: invalid frame")
+
+// PutFrame validates a raw framed entry and atomically publishes it
+// under hash — the pracstored write path. The frame must decode cleanly
+// (magic, lengths, payload checksum) and its embedded key must actually
+// hash to the claimed address; anything else reports ErrBadFrame before
+// a byte lands in the store.
+func (d *Disk) PutFrame(hash string, frame []byte) (key string, payloadLen int, err error) {
+	key, payload, err := DecodeFrameAny(frame)
+	if err != nil {
+		return "", 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if Hash(key) != hash {
+		return "", 0, fmt.Errorf("%w: frame key hashes to %s, not the addressed %s", ErrBadFrame, Hash(key), hash)
+	}
+	return key, len(payload), d.writeAtomic(d.hashPath(hash), frame)
+}
+
+// DeleteFrame removes the entry under a content hash.
+func (d *Disk) DeleteFrame(hash string) error {
+	err := os.Remove(d.hashPath(hash))
+	if os.IsNotExist(err) {
+		return ErrNotFound
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// writeAtomic publishes data at path via a temp file in the store
+// directory and an atomic rename, so readers and concurrent writers
+// (same key or not, same process or not) never observe a partial entry.
+func (d *Disk) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// MaxEntryBytes bounds how much of an entry either end of the wire will
+// buffer: a misbehaving peer must cost a bounded read, never an OOM.
+// Real encoded RunResults are kilobytes. Shared with the server so the
+// size bound cannot drift between the two ends.
+const MaxEntryBytes = 256 << 20
+
+// GzipMinBytes is the smallest body worth compressing in either
+// direction; below it the gzip header overhead beats the savings.
+const GzipMinBytes = 1 << 10
+
+// breakerTrip and breakerProbe shape the client's failure memory: after
+// breakerTrip consecutive transport failures (timeouts, refused or
+// black-holed connections — not HTTP error statuses, which prove the
+// server is reachable) the client stops dialing and fails operations
+// immediately, probing the server again once every breakerProbe
+// operations. Without this, a firewalled-dead server would cost a full
+// client timeout per run, serially, turning a seconds-long sweep into
+// tens of minutes of stalls.
+const (
+	breakerTrip  = 5
+	breakerProbe = 50
+)
+
+// TokenEnv names the environment variable the HTTP client (and
+// cmd/pracstored, as its default -token) reads the bearer token from —
+// an env var so the secret never appears in argv or shard-dispatch
+// command lines.
+const TokenEnv = "PRACSTORE_TOKEN"
+
+// HTTP is the remote backend: a client for the pracstored service. Every
+// entry travels as the same self-validating frame the disk backend
+// stores, so checksums are verified on both ends of both directions —
+// the server rejects corrupt uploads before publishing, the client
+// treats corrupt downloads as misses. Transport failures, timeouts and
+// unexpected statuses all degrade to misses at the Store front; the
+// remote stats keep them visible.
+type HTTP struct {
+	base   string // normalized base URL, no trailing slash
+	token  string
+	client *http.Client
+
+	hits, misses, writes, errs, skipped, bytesRead, bytesWritten atomic.Int64
+
+	// consecFails counts transport failures since the last response of
+	// any kind; past breakerTrip the circuit opens and operations fail
+	// fast instead of dialing (see circuitOpen).
+	consecFails atomic.Int64
+	breakerOps  atomic.Int64
+}
+
+// OpenHTTP returns a client backend for a pracstored base URL. The
+// bearer token, when the server requires one, comes from $PRACSTORE_TOKEN.
+// Only the URL is validated here — the server is contacted lazily, and an
+// unreachable server degrades every operation rather than failing open.
+func OpenHTTP(rawurl string) (*HTTP, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("store: invalid remote store URL %q (want http://host:port)", rawurl)
+	}
+	return &HTTP{
+		base:  strings.TrimRight(u.String(), "/"),
+		token: os.Getenv(TokenEnv),
+		// A sweep blocked on a hung server is worse than a recompute:
+		// bound every request.
+		client: &http.Client{Timeout: 30 * time.Second},
+	}, nil
+}
+
+// Spec reports the server base URL.
+func (h *HTTP) Spec() string { return h.base }
+
+// RemoteStats snapshots the wire-traffic counters.
+func (h *HTTP) RemoteStats() RemoteStats {
+	return RemoteStats{
+		Hits:         h.hits.Load(),
+		Misses:       h.misses.Load(),
+		Writes:       h.writes.Load(),
+		Errors:       h.errs.Load(),
+		Skipped:      h.skipped.Load(),
+		BytesRead:    h.bytesRead.Load(),
+		BytesWritten: h.bytesWritten.Load(),
+	}
+}
+
+func (h *HTTP) entryURL(key string) string { return h.base + "/v1/e/" + Hash(key) }
+
+// circuitOpen reports whether this operation should fail fast instead
+// of dialing a server that hasn't answered in breakerTrip attempts.
+// Every breakerProbe-th operation still goes through: one probe's
+// timeout rediscovers a revived server without re-stalling the sweep.
+func (h *HTTP) circuitOpen() bool {
+	if h.consecFails.Load() < breakerTrip {
+		return false
+	}
+	return h.breakerOps.Add(1)%breakerProbe != 0
+}
+
+var errCircuitOpen = fmt.Errorf("store: remote unreachable, circuit open (failing fast)")
+
+func (h *HTTP) do(method, url string, body io.Reader, contentEncoding string) (*http.Response, error) {
+	if h.circuitOpen() {
+		h.skipped.Add(1)
+		return nil, errCircuitOpen
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if h.token != "" {
+		req.Header.Set("Authorization", "Bearer "+h.token)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	if contentEncoding != "" {
+		req.Header.Set("Content-Encoding", contentEncoding)
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		h.consecFails.Add(1)
+		h.errs.Add(1)
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// Any response — a hit, a 404, even a 500 — proves the server is
+	// reachable and answering promptly; only transport silence trips
+	// the breaker.
+	h.consecFails.Store(0)
+	return resp, nil
+}
+
+// drain discards and closes a response body so the connection is reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+}
+
+func (h *HTTP) statusErr(resp *http.Response, what string) error {
+	h.errs.Add(1)
+	drain(resp)
+	return fmt.Errorf("store: %s %s: server returned %s", what, h.base, resp.Status)
+}
+
+// Get fetches and validates the frame stored under key. The response
+// frame is checked exactly like a disk entry — checksum and embedded
+// key — so a truncated body, a bit-flipped payload or a server bug all
+// degrade to a miss.
+func (h *HTTP) Get(key string) ([]byte, error) {
+	resp, err := h.do(http.MethodGet, h.entryURL(key), nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		h.misses.Add(1)
+		drain(resp)
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, h.statusErr(resp, "get")
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, MaxEntryBytes))
+	resp.Body.Close()
+	if err != nil {
+		h.errs.Add(1)
+		return nil, fmt.Errorf("store: reading %s: %w", h.base, err)
+	}
+	payload, err := DecodeFrame(frame, key)
+	if err != nil {
+		h.errs.Add(1)
+		return nil, err
+	}
+	h.hits.Add(1)
+	h.bytesRead.Add(int64(len(payload)))
+	return payload, nil
+}
+
+// Put uploads the framed entry for key; bodies past GzipMinBytes travel
+// gzip-compressed. The server validates the frame (checksum, key/hash
+// agreement) before publishing atomically, so a connection cut mid-PUT
+// can lose the write but never tear an entry.
+func (h *HTTP) Put(key string, payload []byte) error {
+	frame := EncodeFrame(key, payload)
+	body, encoding := frame, ""
+	if len(frame) >= GzipMinBytes {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(frame)
+		if err := zw.Close(); err == nil {
+			body, encoding = buf.Bytes(), "gzip"
+		}
+	}
+	resp, err := h.do(http.MethodPut, h.entryURL(key), bytes.NewReader(body), encoding)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusNoContent {
+		return h.statusErr(resp, "put")
+	}
+	drain(resp)
+	h.writes.Add(1)
+	h.bytesWritten.Add(int64(len(payload)))
+	return nil
+}
+
+// Stat describes the entry under key without fetching its payload.
+func (h *HTTP) Stat(key string) (Info, error) {
+	resp, err := h.do(http.MethodGet, h.base+"/v1/stat/"+Hash(key), nil, "")
+	if err != nil {
+		return Info{}, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		drain(resp)
+		return Info{}, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, h.statusErr(resp, "stat")
+	}
+	var info Info
+	err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		h.errs.Add(1)
+		return Info{}, fmt.Errorf("store: decoding stat from %s: %w", h.base, err)
+	}
+	return info, nil
+}
+
+// List enumerates the server's entries — the maintenance surface, so
+// -store-info and -store-prune work against a remote exactly like a
+// directory.
+func (h *HTTP) List() ([]Info, error) {
+	resp, err := h.do(http.MethodGet, h.base+"/v1/list", nil, "")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, h.statusErr(resp, "list")
+	}
+	var infos []Info
+	err = json.NewDecoder(io.LimitReader(resp.Body, MaxEntryBytes)).Decode(&infos)
+	resp.Body.Close()
+	if err != nil {
+		h.errs.Add(1)
+		return nil, fmt.Errorf("store: decoding list from %s: %w", h.base, err)
+	}
+	return infos, nil
+}
+
+// Delete removes the entry under key on the server.
+func (h *HTTP) Delete(key string) error {
+	resp, err := h.do(http.MethodDelete, h.entryURL(key), nil, "")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		drain(resp)
+		return ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+		return h.statusErr(resp, "delete")
+	}
+	drain(resp)
+	return nil
+}

@@ -1,0 +1,137 @@
+package store_test
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pracsim/internal/exp/store"
+	"pracsim/internal/exp/store/server"
+)
+
+func TestKeySchema(t *testing.T) {
+	cases := map[string]string{
+		"pracsim/run/v3/warmup=1/workload=milc": "v3",
+		"pracsim/exp/v12/pracleak/fig3":         "v12",
+		"pracsim/run/vX/oops":                   "?",
+		"pracsim/run":                           "?",
+		"someone-elses/key":                     "?",
+		"":                                      "?",
+	}
+	for key, want := range cases {
+		if got := store.KeySchema(key); got != want {
+			t.Errorf("KeySchema(%q) = %q, want %q", key, got, want)
+		}
+	}
+}
+
+// seedSchemas fills a backend with entries across schema versions plus
+// one unclassifiable key.
+func seedSchemas(t *testing.T, b store.Backend) {
+	t.Helper()
+	entries := map[string]int{
+		"pracsim/run/v3/a": 10,
+		"pracsim/run/v3/b": 20,
+		"pracsim/exp/v3/c": 30,
+		"pracsim/run/v2/d": 40,
+		"pracsim/exp/v1/e": 50,
+		"foreign/key":      60,
+	}
+	for key, size := range entries {
+		if err := b.Put(key, make([]byte, size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkMaintenance(t *testing.T, b store.Backend) {
+	t.Helper()
+	rep, err := store.Collect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 6 || rep.Bytes != 210 {
+		t.Errorf("Collect = %d entries, %d bytes; want 6, 210", rep.Entries, rep.Bytes)
+	}
+	want := []store.SchemaFootprint{
+		{Schema: "?", Entries: 1, Bytes: 60},
+		{Schema: "v1", Entries: 1, Bytes: 50},
+		{Schema: "v2", Entries: 1, Bytes: 40},
+		{Schema: "v3", Entries: 3, Bytes: 60},
+	}
+	if len(rep.Schemas) != len(want) {
+		t.Fatalf("schemas = %+v", rep.Schemas)
+	}
+	for i, w := range want {
+		if rep.Schemas[i] != w {
+			t.Errorf("schema[%d] = %+v, want %+v", i, rep.Schemas[i], w)
+		}
+	}
+	render := rep.Render()
+	for _, frag := range []string{"6 entries", "schema v3", "schema v2", "unrecognized"} {
+		if !strings.Contains(render, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, render)
+		}
+	}
+
+	// Prune keeps the current schema and what it cannot classify;
+	// orphaned versions go.
+	pruned, bytes, err := store.Prune(b, "v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 2 || bytes != 90 {
+		t.Errorf("Prune = %d entries, %d bytes; want 2, 90", pruned, bytes)
+	}
+	rep, err = store.Collect(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 4 || rep.Bytes != 120 {
+		t.Errorf("after prune: %d entries, %d bytes; want 4, 120", rep.Entries, rep.Bytes)
+	}
+	for _, fp := range rep.Schemas {
+		if fp.Schema == "v1" || fp.Schema == "v2" {
+			t.Errorf("orphaned schema %s survived the prune", fp.Schema)
+		}
+	}
+	// Idempotent: a second prune finds nothing.
+	if pruned, _, err := store.Prune(b, "v3"); err != nil || pruned != 0 {
+		t.Errorf("second Prune = %d, %v; want 0", pruned, err)
+	}
+}
+
+// TestMaintenanceOnDisk: -store-info and -store-prune semantics against
+// a directory.
+func TestMaintenanceOnDisk(t *testing.T) {
+	d := disk(t)
+	seedSchemas(t, d)
+	checkMaintenance(t, d)
+}
+
+// TestMaintenanceOverHTTP: the identical maintenance pass against a
+// pracstored server — the satellite contract that both backends share
+// one maintenance surface.
+func TestMaintenanceOverHTTP(t *testing.T) {
+	remoteDisk := disk(t)
+	ts := httptest.NewServer(server.New(remoteDisk, server.Options{}))
+	defer ts.Close()
+	h := httpClient(t, ts.URL)
+	seedSchemas(t, h)
+	checkMaintenance(t, h)
+}
+
+// TestMaintenanceOverTiered: a tiered backend lists and prunes the
+// authoritative remote, and pruning clears local copies too.
+func TestMaintenanceOverTiered(t *testing.T) {
+	remoteDisk := disk(t)
+	ts := httptest.NewServer(server.New(remoteDisk, server.Options{}))
+	defer ts.Close()
+	local := disk(t)
+	tiered := store.NewTiered(local, httpClient(t, ts.URL))
+	seedSchemas(t, tiered)
+	checkMaintenance(t, tiered)
+	if _, err := local.Get("pracsim/run/v2/d"); err != store.ErrNotFound {
+		t.Errorf("pruned entry survives in the local tier: %v", err)
+	}
+}

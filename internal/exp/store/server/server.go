@@ -1,0 +1,283 @@
+// Package server implements the pracstored HTTP service: the
+// content-addressed run store exposed over the wire, so a dispatch fleet
+// (or a CI matrix, or several experiment campaigns sweeping the same
+// PRAC variants) shares one warm store instead of each machine warming
+// its own.
+//
+// The wire format is the store's own self-validating entry frame, so
+// checksums are verified on both ends: a PUT is decoded and validated —
+// frame integrity, payload checksum, embedded key hashing to the
+// addressed path — before it is atomically published via the disk
+// backend's temp-file + rename path, and a GET serves the stored frame
+// for the client to validate. The server therefore never needs to trust
+// a client, and a client never needs to trust the server.
+//
+// Routes:
+//
+//	GET    /v1/e/{hash}     fetch a frame (404 on miss; gzip when accepted)
+//	PUT    /v1/e/{hash}     validate + atomically publish a frame (gzip accepted)
+//	DELETE /v1/e/{hash}     remove an entry
+//	GET    /v1/stat/{hash}  entry metadata as JSON
+//	GET    /v1/list         all entries as JSON (the maintenance surface)
+//	GET    /healthz         liveness (no auth)
+//	GET    /metrics         Prometheus-style counters (no auth)
+//
+// When a bearer token is configured, every /v1/* route requires
+// `Authorization: Bearer <token>`; /healthz and /metrics stay open so
+// probes and scrapers work without credentials.
+package server
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pracsim/internal/exp/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Token, when non-empty, is the bearer token every /v1/* request
+	// must present.
+	Token string
+	// Log, when non-nil, receives one line per request.
+	Log *log.Logger
+}
+
+// Server serves one disk-backed store over HTTP. It implements
+// http.Handler.
+type Server struct {
+	disk *store.Disk
+	opts Options
+	mux  *http.ServeMux
+
+	start time.Time
+
+	gets, puts, deletes, hits, misses atomic.Int64
+	putRejects, authFails             atomic.Int64
+	bytesIn, bytesOut                 atomic.Int64
+}
+
+// New returns a server over a disk backend.
+func New(d *store.Disk, opts Options) *Server {
+	s := &Server{disk: d, opts: opts, start: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /v1/e/{hash}", s.auth(s.handleGet))
+	s.mux.Handle("PUT /v1/e/{hash}", s.auth(s.handlePut))
+	s.mux.Handle("DELETE /v1/e/{hash}", s.auth(s.handleDelete))
+	s.mux.Handle("GET /v1/stat/{hash}", s.auth(s.handleStat))
+	s.mux.Handle("GET /v1/list", s.auth(s.handleList))
+	return s
+}
+
+// ServeHTTP dispatches to the store routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Log != nil {
+		s.opts.Log.Printf("%s %s from %s", r.Method, r.URL.Path, r.RemoteAddr)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// auth wraps a /v1/* handler with the bearer-token check.
+func (s *Server) auth(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.opts.Token != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || got != s.opts.Token {
+				s.authFails.Add(1)
+				http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+				return
+			}
+		}
+		h(w, r)
+	})
+}
+
+// validHash reports whether a path segment is a well-formed content
+// address (64 lowercase hex digits) — everything else is rejected before
+// it can name a file.
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) hash(w http.ResponseWriter, r *http.Request) (string, bool) {
+	h := r.PathValue("hash")
+	if !validHash(h) {
+		http.Error(w, "malformed entry hash", http.StatusBadRequest)
+		return "", false
+	}
+	return h, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.gets.Add(1)
+	hash, ok := s.hash(w, r)
+	if !ok {
+		return
+	}
+	frame, _, err := s.disk.GetFrame(hash)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			s.misses.Add(1)
+			http.Error(w, "no such entry", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.hits.Add(1)
+	s.bytesOut.Add(int64(len(frame)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if len(frame) >= store.GzipMinBytes && strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		w.Header().Set("Content-Encoding", "gzip")
+		zw := gzip.NewWriter(w)
+		zw.Write(frame)
+		zw.Close()
+		return
+	}
+	w.Write(frame)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	s.puts.Add(1)
+	hash, ok := s.hash(w, r)
+	if !ok {
+		return
+	}
+	var body io.Reader = http.MaxBytesReader(w, r.Body, store.MaxEntryBytes)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.putRejects.Add(1)
+			http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer zr.Close()
+		body = io.LimitReader(zr, store.MaxEntryBytes)
+	}
+	frame, err := io.ReadAll(body)
+	if err != nil {
+		s.putRejects.Add(1)
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// PutFrame validates — checksum, lengths, key/hash agreement —
+	// before publishing; a corrupt or mis-addressed upload never touches
+	// the store. Validation failures (ErrBadFrame) are the client's
+	// fault (400, counted as rejects); a storage failure on a frame that
+	// validated is the server's (500), so a full disk never reads as
+	// "corrupt uploads" in the metrics.
+	_, n, err := s.disk.PutFrame(hash, frame)
+	if err != nil {
+		if errors.Is(err, store.ErrBadFrame) {
+			s.putRejects.Add(1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.bytesIn.Add(int64(n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.deletes.Add(1)
+	hash, ok := s.hash(w, r)
+	if !ok {
+		return
+	}
+	if err := s.disk.DeleteFrame(hash); err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			http.Error(w, "no such entry", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	hash, ok := s.hash(w, r)
+	if !ok {
+		return
+	}
+	frame, mtime, err := s.disk.GetFrame(hash)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			http.Error(w, "no such entry", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	key, payload, err := store.DecodeFrameAny(frame)
+	if err != nil {
+		// A corrupt entry is indistinguishable from an absent one to
+		// clients — exactly the degrade-to-miss contract.
+		http.Error(w, "no such entry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(store.Info{Key: key, Size: int64(len(payload)), ModTime: mtime})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.disk.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if infos == nil {
+		infos = []store.Info{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("pracstored_gets_total", "Entry GET requests.", s.gets.Load())
+	counter("pracstored_hits_total", "GETs served from the store.", s.hits.Load())
+	counter("pracstored_misses_total", "GETs with no entry.", s.misses.Load())
+	counter("pracstored_puts_total", "Entry PUT requests.", s.puts.Load())
+	counter("pracstored_put_rejects_total", "PUTs rejected by frame validation.", s.putRejects.Load())
+	counter("pracstored_deletes_total", "Entry DELETE requests.", s.deletes.Load())
+	counter("pracstored_auth_failures_total", "Requests with a missing or wrong bearer token.", s.authFails.Load())
+	counter("pracstored_bytes_out_total", "Frame bytes served.", s.bytesOut.Load())
+	counter("pracstored_bytes_in_total", "Payload bytes accepted.", s.bytesIn.Load())
+	gauge("pracstored_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
+	if entries, bytes, err := s.disk.Footprint(); err == nil {
+		gauge("pracstored_entries", "Entry files in the store.", float64(entries))
+		gauge("pracstored_store_bytes", "Entry file bytes in the store.", float64(bytes))
+	}
+}

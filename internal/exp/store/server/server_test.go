@@ -1,0 +1,282 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pracsim/internal/exp/store"
+	"pracsim/internal/exp/store/server"
+)
+
+func newServer(t *testing.T, opts server.Options) (*httptest.Server, *store.Disk) {
+	t.Helper()
+	disk, err := store.OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(disk, opts))
+	t.Cleanup(ts.Close)
+	return ts, disk
+}
+
+func client(t *testing.T, ts *httptest.Server) *store.HTTP {
+	t.Helper()
+	h, err := store.OpenHTTP(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestRoundTrip is the wire contract: a Put through one client is a
+// validated Get through another, small and large (gzip-compressed)
+// payloads alike, and the served directory is an ordinary disk store.
+func TestRoundTrip(t *testing.T) {
+	ts, disk := newServer(t, server.Options{})
+	a, b := client(t, ts), client(t, ts)
+
+	small := []byte("small payload")
+	large := bytes.Repeat([]byte("0123456789abcdef"), 1024) // 16 KB: crosses both gzip thresholds
+	if err := a.Put("pracsim/run/v3/small", small); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("pracsim/run/v3/large", large); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range map[string][]byte{"pracsim/run/v3/small": small, "pracsim/run/v3/large": large} {
+		got, err := b.Get(key)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("Get(%s) = %d bytes, %v; want %d bytes", key, len(got), err, len(want))
+		}
+		// The server published via the ordinary disk path: a local open
+		// of the same directory sees the entry.
+		if got, err := disk.Get(key); err != nil || !bytes.Equal(got, want) {
+			t.Errorf("disk.Get(%s) = %d bytes, %v", key, len(got), err)
+		}
+	}
+	if _, err := b.Get("pracsim/run/v3/absent"); err != store.ErrNotFound {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	rs := b.RemoteStats()
+	if rs.Hits != 2 || rs.Misses != 1 || rs.Errors != 0 {
+		t.Errorf("client stats = %+v", rs)
+	}
+}
+
+// TestStatListDelete covers the maintenance surface over the wire.
+func TestStatListDelete(t *testing.T) {
+	ts, _ := newServer(t, server.Options{})
+	h := client(t, ts)
+	if err := h.Put("pracsim/run/v3/x", []byte("xxxx")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Put("pracsim/run/v2/y", []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := h.Stat("pracsim/run/v3/x")
+	if err != nil || info.Key != "pracsim/run/v3/x" || info.Size != 4 {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+	if _, err := h.Stat("absent"); err != store.ErrNotFound {
+		t.Errorf("Stat(absent) = %v, want ErrNotFound", err)
+	}
+
+	infos, err := h.List()
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("List = %v, %v", infos, err)
+	}
+	sizes := map[string]int64{}
+	for _, i := range infos {
+		sizes[i.Key] = i.Size
+	}
+	if sizes["pracsim/run/v3/x"] != 4 || sizes["pracsim/run/v2/y"] != 2 {
+		t.Errorf("List sizes = %v", sizes)
+	}
+
+	if err := h.Delete("pracsim/run/v2/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete("pracsim/run/v2/y"); err != store.ErrNotFound {
+		t.Errorf("second Delete = %v, want ErrNotFound", err)
+	}
+	if _, err := h.Get("pracsim/run/v2/y"); err != store.ErrNotFound {
+		t.Errorf("deleted entry still served: %v", err)
+	}
+}
+
+// TestBearerTokenAuth: with a token configured, every /v1/* route
+// refuses anonymous requests, the right token opens them, and the
+// probe/scrape endpoints stay open — while the Store front keeps
+// degrading the refusals to misses, never failures.
+func TestBearerTokenAuth(t *testing.T) {
+	ts, _ := newServer(t, server.Options{Token: "sekrit"})
+
+	t.Setenv(store.TokenEnv, "sekrit")
+	authed := client(t, ts)
+	if err := authed.Put("pracsim/run/v3/k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Setenv(store.TokenEnv, "wrong")
+	anon := client(t, ts)
+	if _, err := anon.Get("pracsim/run/v3/k"); err == nil || err == store.ErrNotFound {
+		t.Errorf("wrong token read an entry: %v", err)
+	}
+	if err := anon.Put("pracsim/run/v3/k2", []byte("x")); err == nil {
+		t.Error("wrong token wrote an entry")
+	}
+	if _, err := anon.List(); err == nil {
+		t.Error("wrong token listed the store")
+	}
+	// The front degrades an auth failure like any other backend error.
+	front := store.NewStore(anon)
+	if _, ok := front.Get("pracsim/run/v3/k"); ok {
+		t.Error("front served a hit through an auth failure")
+	}
+	if st := front.Stats(); st.Misses != 1 || st.Remote.Errors == 0 {
+		t.Errorf("front stats = %+v, want a miss and remote errors", st)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %s (%q), want open 200", path, resp.Status, body)
+		}
+	}
+}
+
+// TestPutValidation: the server rejects—and never publishes—uploads
+// that fail frame validation: garbage bodies, checksum flips, and
+// well-formed frames addressed at the wrong hash.
+func TestPutValidation(t *testing.T) {
+	ts, disk := newServer(t, server.Options{})
+	key := "pracsim/run/v3/k"
+	frame := store.EncodeFrame(key, []byte("a payload worth protecting"))
+	flipped := append([]byte{}, frame...)
+	flipped[len(flipped)-5] ^= 0xff
+
+	put := func(hash string, body []byte) *http.Response {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/e/"+hash, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp
+	}
+
+	if resp := put(store.Hash(key), []byte("not a frame")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage PUT = %s, want 400", resp.Status)
+	}
+	if resp := put(store.Hash(key), flipped); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("checksum-flipped PUT = %s, want 400", resp.Status)
+	}
+	if resp := put(store.Hash("some-other-key"), frame); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mis-addressed PUT = %s, want 400", resp.Status)
+	}
+	if resp := put(strings.Repeat("z", 64), frame); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed-hash PUT = %s, want 400", resp.Status)
+	}
+	if infos, err := disk.List(); err != nil || len(infos) != 0 {
+		t.Errorf("rejected uploads landed in the store: %v, %v", infos, err)
+	}
+
+	if resp := put(store.Hash(key), frame); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("valid PUT = %s, want 204", resp.Status)
+	}
+	if got, err := disk.Get(key); err != nil || string(got) != "a payload worth protecting" {
+		t.Errorf("valid PUT not stored: %q, %v", got, err)
+	}
+}
+
+// TestMetrics: the Prometheus endpoint reports the request counters and
+// the store footprint gauges.
+func TestMetrics(t *testing.T) {
+	ts, _ := newServer(t, server.Options{})
+	h := client(t, ts)
+	if err := h.Put("pracsim/run/v3/m", []byte("metric payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get("pracsim/run/v3/m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get("pracsim/run/v3/absent"); err != store.ErrNotFound {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"pracstored_gets_total 2",
+		"pracstored_hits_total 1",
+		"pracstored_misses_total 1",
+		"pracstored_puts_total 1",
+		"pracstored_entries 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentClients hammers one server with racing writers and
+// readers on shared and distinct keys — the fleet's actual access
+// pattern; every read must observe a complete payload for its key.
+func TestConcurrentClients(t *testing.T) {
+	ts, _ := newServer(t, server.Options{})
+	const clients = 8
+	done := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			h, err := store.OpenHTTP(ts.URL)
+			if err != nil {
+				done <- err
+				return
+			}
+			own := fmt.Sprintf("pracsim/run/v3/own-%d", c)
+			for i := 0; i < 10; i++ {
+				if err := h.Put("pracsim/run/v3/shared", []byte("shared payload")); err != nil {
+					done <- err
+					return
+				}
+				if err := h.Put(own, []byte(own)); err != nil {
+					done <- err
+					return
+				}
+				if got, err := h.Get("pracsim/run/v3/shared"); err != nil || string(got) != "shared payload" {
+					done <- fmt.Errorf("shared read = %q, %v", got, err)
+					return
+				}
+				if got, err := h.Get(own); err != nil || string(got) != own {
+					done <- fmt.Errorf("own read = %q, %v", got, err)
+					return
+				}
+			}
+			done <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,47 +1,89 @@
-// Package store is the persistent, content-addressed run store: a
-// directory of checksummed entry files keyed by the hash of a canonical
-// run key, layered under the in-process single-flight cache so warm
-// results survive across tpracsim/pracleak invocations, CI passes and
-// machines.
+// Package store is the persistent, content-addressed run store: entries
+// of checksummed, self-validating frames keyed by the hash of a
+// canonical run key, layered under the in-process single-flight cache so
+// warm results survive across tpracsim/pracleak invocations, CI passes
+// and machines.
+//
+// The package splits into a thin Store front (traffic counters plus the
+// degrade-to-miss contract) over pluggable backends:
+//
+//   - Disk — a local directory of entry files (the original store; the
+//     on-disk format is unchanged)
+//   - HTTP — a client for the pracstored service (cmd/pracstored), so a
+//     whole dispatch fleet shares one warm store
+//   - Tiered — a local Disk read-through cache over a remote, serving
+//     hot keys locally and populating both on a remote hit
 //
 // The store is strictly a cache: every failure mode (missing file,
-// truncated or bit-flipped entry, hash collision, unreadable directory)
-// degrades to a miss and the caller recomputes — a corrupt store can cost
-// time, never correctness. Writes go through a temp file and an atomic
-// rename, so concurrent writers (even across processes sharing one store
-// directory) only ever publish complete, self-validating entries.
+// truncated or bit-flipped entry, hash collision, unreadable directory,
+// unreachable server, corrupt response) degrades to a miss and the
+// caller recomputes — a corrupt or absent store can cost time, never
+// correctness. Writes publish atomically (temp file + rename on disk,
+// validated-frame PUT over HTTP), so concurrent writers only ever
+// publish complete, self-validating entries.
 package store
 
 import (
-	"bytes"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 )
 
-// magic stamps the entry-file format; a format change bumps the suffix.
-const magic = "pracstore1\n"
-
-// Stats counts store traffic. Bytes are entry payload bytes (the encoded
-// results), not file overhead.
+// Stats counts store traffic as seen by the session: front hits and
+// misses, payload bytes (not file or wire overhead), and — when the
+// backend has a remote leg — the remote traffic underneath, so a tiered
+// session shows how many hits the local cache absorbed versus how many
+// crossed the network.
 type Stats struct {
 	Hits         int64
 	Misses       int64
 	Writes       int64
 	BytesRead    int64
 	BytesWritten int64
+	// Remote is the remote leg's wire traffic (zero for local-only
+	// backends). Remote.Errors counts transport failures and corrupt
+	// responses — every one degraded to a miss or a skipped write.
+	Remote RemoteStats
 }
 
-// Store is one on-disk run store rooted at a directory.
+// Store is the front every session talks to: it wraps a Backend with
+// traffic counters and the degrade-to-miss contract (any backend error
+// on Get reports a plain miss).
 type Store struct {
-	dir string
+	b Backend
 
 	hits, misses, writes, bytesRead, bytesWritten atomic.Int64
 }
+
+// NewStore wraps a backend in the counting, degrading front.
+func NewStore(b Backend) *Store { return &Store{b: b} }
+
+// Open creates (if needed) and returns a store over the disk backend
+// rooted at dir.
+func Open(dir string) (*Store, error) {
+	d, err := OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(d), nil
+}
+
+// Backend returns the store's backend — the maintenance surface
+// (Stat/List/Delete) lives there.
+func (s *Store) Backend() Backend { return s.b }
+
+// Spec reports the -store argument that reopens this store: a directory
+// for disk stores, the server URL for remote and tiered ones. The
+// dispatch driver forwards it to every fleet worker.
+func (s *Store) Spec() string { return s.b.Spec() }
+
+// Dir reports the store's root directory (its Spec); kept for the
+// callers that predate remote backends.
+func (s *Store) Dir() string { return s.b.Spec() }
 
 // DefaultDir is the store location when no explicit directory is given:
 // the user cache directory (~/.cache/tpracsim on Linux).
@@ -53,17 +95,30 @@ func DefaultDir() (string, error) {
 	return filepath.Join(base, "tpracsim"), nil
 }
 
-// OpenMode resolves a CLI -store flag: "auto" opens the store at
-// DefaultDir, "off"/"none"/"" disables persistence (nil store), and
-// anything else is a directory path.
+// IsRemoteSpec reports whether a -store argument names a pracstored
+// server rather than a directory or a mode keyword.
+func IsRemoteSpec(mode string) bool {
+	return strings.HasPrefix(mode, "http://") || strings.HasPrefix(mode, "https://")
+}
+
+// ResolveBackend is the single entry point every CLI routes its -store
+// flag through:
 //
-// "auto" is best-effort: the store is strictly a cache, so when the
-// user cache directory cannot be resolved or created (no $HOME in a CI
-// container, a read-only home) the mode degrades to store-off and
-// returns a one-line warning for the CLI to print, instead of failing
-// an invocation that never asked for persistence by name. An explicit
-// directory still fails hard — the user asked for that location.
-func OpenMode(mode string) (st *Store, warning string, err error) {
+//   - "off", "none", "" — persistence disabled (nil store)
+//   - "auto" — a disk store at DefaultDir
+//   - "http://…" / "https://…" — a pracstored server, fronted by a local
+//     disk read-through cache under DefaultDir so hot keys stay local
+//   - anything else — a disk store at that directory
+//
+// "auto" and the remote local cache are best-effort: the store is
+// strictly a cache, so when the user cache directory cannot be resolved
+// or created (no $HOME in a CI container, a read-only home) "auto"
+// degrades to store-off and a remote spec degrades to a pure remote
+// store, each returning a one-line warning for the CLI to print instead
+// of failing an invocation that never asked for that directory by name.
+// An explicit directory or URL still fails hard — the user asked for
+// that location.
+func ResolveBackend(mode string) (st *Store, warning string, err error) {
 	switch mode {
 	case "off", "none", "":
 		return nil, "", nil
@@ -76,43 +131,61 @@ func OpenMode(mode string) (st *Store, warning string, err error) {
 			derr = err
 		}
 		return nil, fmt.Sprintf("run store disabled (%v); pass -store DIR to persist runs", derr), nil
-	default:
-		st, err = Open(mode)
-		return st, "", err
 	}
+	if IsRemoteSpec(mode) {
+		remote, err := OpenHTTP(mode)
+		if err != nil {
+			return nil, "", err
+		}
+		dir, derr := DefaultDir()
+		if derr == nil {
+			// Each remote gets its own cache directory, so two servers
+			// (or a server and a plain "auto" store) never mix entries.
+			local, oerr := OpenDisk(filepath.Join(dir, "remote-"+Hash(remote.Spec())[:16]))
+			if oerr == nil {
+				return NewStore(NewTiered(local, remote)), "", nil
+			}
+			derr = oerr
+		}
+		return NewStore(remote),
+			fmt.Sprintf("remote store %s: local read-through cache disabled (%v)", remote.Spec(), derr), nil
+	}
+	st, err = Open(mode)
+	return st, "", err
 }
 
-// Open creates (if needed) and returns the store rooted at dir.
-func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("store: empty directory")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return &Store{dir: dir}, nil
-}
-
-// Dir reports the store's root directory.
-func (s *Store) Dir() string { return s.dir }
-
-// Report renders the one-line traffic summary the CLIs and the session
-// telemetry print, so the format lives in one place.
-func (st Stats) Report(dir string) string {
-	return fmt.Sprintf("store: %d hits, %d misses, %.1f KB read, %.1f KB written (%s)",
+// Report renders the traffic summary the CLIs and the session telemetry
+// print, so the format lives in one place. Remote traffic appears only
+// when the session actually touched a remote.
+func (st Stats) Report(spec string) string {
+	out := fmt.Sprintf("store: %d hits, %d misses, %.1f KB read, %.1f KB written (%s)",
 		st.Hits, st.Misses,
-		float64(st.BytesRead)/1024, float64(st.BytesWritten)/1024, dir)
+		float64(st.BytesRead)/1024, float64(st.BytesWritten)/1024, spec)
+	if st.Remote != (RemoteStats{}) {
+		r := st.Remote
+		out += fmt.Sprintf("; remote: %d hits, %d misses, %d errors, %.1f KB down, %.1f KB up",
+			r.Hits, r.Misses, r.Errors,
+			float64(r.BytesRead)/1024, float64(r.BytesWritten)/1024)
+		if r.Skipped > 0 {
+			out += fmt.Sprintf(", %d skipped (circuit open)", r.Skipped)
+		}
+	}
+	return out
 }
 
 // Stats snapshots the store's traffic counters.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:         s.hits.Load(),
 		Misses:       s.misses.Load(),
 		Writes:       s.writes.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		BytesWritten: s.bytesWritten.Load(),
 	}
+	if rs, ok := s.b.(remoteStatser); ok {
+		st.Remote = rs.RemoteStats()
+	}
+	return st
 }
 
 // Hash is the content address of a key: SHA-256 over the key string. The
@@ -123,71 +196,12 @@ func Hash(key string) string {
 	return hex.EncodeToString(h[:])
 }
 
-func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, Hash(key)+".run")
-}
-
-// encodeEntry frames a (key, payload) pair:
-//
-//	magic | keyLen uvarint | key | payloadLen uvarint | payload | sha256(payload)
-func encodeEntry(key string, payload []byte) []byte {
-	var buf bytes.Buffer
-	buf.WriteString(magic)
-	var lenbuf [binary.MaxVarintLen64]byte
-	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(key)))])
-	buf.WriteString(key)
-	buf.Write(lenbuf[:binary.PutUvarint(lenbuf[:], uint64(len(payload)))])
-	buf.Write(payload)
-	sum := sha256.Sum256(payload)
-	buf.Write(sum[:])
-	return buf.Bytes()
-}
-
-// decodeEntry validates a framed entry against the expected key and
-// returns its payload. Any deviation — wrong magic, truncation, a
-// different key under the same hash, a checksum mismatch — is an error.
-func decodeEntry(data []byte, key string) ([]byte, error) {
-	if !bytes.HasPrefix(data, []byte(magic)) {
-		return nil, fmt.Errorf("store: bad magic")
-	}
-	rest := data[len(magic):]
-	keyLen, n := binary.Uvarint(rest)
-	if n <= 0 || uint64(len(rest)-n) < keyLen {
-		return nil, fmt.Errorf("store: truncated key")
-	}
-	rest = rest[n:]
-	if string(rest[:keyLen]) != key {
-		return nil, fmt.Errorf("store: key mismatch (hash collision or tampering)")
-	}
-	rest = rest[keyLen:]
-	payLen, n := binary.Uvarint(rest)
-	if n <= 0 {
-		return nil, fmt.Errorf("store: truncated payload length")
-	}
-	rest = rest[n:]
-	// Compare without adding to payLen: a crafted length near 2^64 must
-	// fail here, not wrap around and panic in the slice expression.
-	if uint64(len(rest)) < payLen || uint64(len(rest))-payLen != sha256.Size {
-		return nil, fmt.Errorf("store: truncated payload")
-	}
-	payload := rest[:payLen]
-	sum := sha256.Sum256(payload)
-	if !bytes.Equal(sum[:], rest[payLen:]) {
-		return nil, fmt.Errorf("store: payload checksum mismatch")
-	}
-	return payload, nil
-}
-
 // Get returns the stored payload for key. Every failure mode — absent,
-// truncated, corrupted, colliding — reports (nil, false) and counts a
-// miss; the caller recomputes and its Put replaces the bad entry.
+// truncated, corrupted, colliding, unreachable — reports (nil, false)
+// and counts a miss; the caller recomputes and its Put replaces the bad
+// entry.
 func (s *Store) Get(key string) ([]byte, bool) {
-	data, err := os.ReadFile(s.path(key))
-	if err != nil {
-		s.misses.Add(1)
-		return nil, false
-	}
-	payload, err := decodeEntry(data, key)
+	payload, err := s.b.Get(key)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -197,27 +211,11 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put stores payload under key, atomically: the entry is written to a
-// temp file in the store directory and renamed into place, so readers
-// and concurrent writers (same key or not, same process or not) never
-// observe a partial entry. The last writer wins; with deterministic
-// payloads all writers carry identical bytes.
+// Put stores payload under key, atomically and durably. The last writer
+// wins; with deterministic payloads all writers carry identical bytes.
 func (s *Store) Put(key string, payload []byte) error {
-	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	entry := encodeEntry(key, payload)
-	if _, err := tmp.Write(entry); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.b.Put(key, payload); err != nil {
+		return err
 	}
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(payload)))

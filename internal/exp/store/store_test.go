@@ -20,6 +20,17 @@ func open(t *testing.T) *Store {
 	return s
 }
 
+// diskOf reaches through the Store front to its disk backend, for tests
+// that corrupt entry files in place.
+func diskOf(t *testing.T, s *Store) *Disk {
+	t.Helper()
+	d, ok := s.Backend().(*Disk)
+	if !ok {
+		t.Fatalf("backend is %T, want *Disk", s.Backend())
+	}
+	return d
+}
+
 func TestPutGetRoundTrip(t *testing.T) {
 	s := open(t)
 	payload := []byte(`{"result":42}`)
@@ -74,7 +85,7 @@ func TestCorruptEntryIsAMiss(t *testing.T) {
 	if err := s.Put("k", payload); err != nil {
 		t.Fatal(err)
 	}
-	path := s.path("k")
+	path := diskOf(t, s).path("k")
 	pristine, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +131,7 @@ func TestCraftedLengthIsAMissNotAPanic(t *testing.T) {
 	frame.WriteString("k")
 	frame.Write(lenbuf[:binary.PutUvarint(lenbuf[:], ^uint64(31))])
 	frame.WriteString("short")
-	if err := os.WriteFile(s.path("k"), frame.Bytes(), 0o644); err != nil {
+	if err := os.WriteFile(diskOf(t, s).path("k"), frame.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if got, ok := s.Get("k"); ok {
@@ -128,37 +139,95 @@ func TestCraftedLengthIsAMissNotAPanic(t *testing.T) {
 	}
 }
 
-// TestOpenMode pins the CLI flag resolution shared by the cmd binaries.
-func TestOpenMode(t *testing.T) {
+// TestResolveBackend pins the CLI flag resolution shared by the cmd
+// binaries: off modes, explicit directories, and remote URLs all route
+// through the one entry point.
+func TestResolveBackend(t *testing.T) {
 	for _, mode := range []string{"off", "none", ""} {
-		st, warn, err := OpenMode(mode)
+		st, warn, err := ResolveBackend(mode)
 		if st != nil || warn != "" || err != nil {
-			t.Errorf("OpenMode(%q) = %v, %q, %v; want nil store", mode, st, warn, err)
+			t.Errorf("ResolveBackend(%q) = %v, %q, %v; want nil store", mode, st, warn, err)
 		}
 	}
 	dir := t.TempDir()
-	st, warn, err := OpenMode(dir)
-	if err != nil || warn != "" || st == nil || st.Dir() != dir {
-		t.Errorf("OpenMode(dir) = %v, %q, %v", st, warn, err)
+	st, warn, err := ResolveBackend(dir)
+	if err != nil || warn != "" || st == nil || st.Spec() != dir {
+		t.Errorf("ResolveBackend(dir) = %v, %q, %v", st, warn, err)
+	}
+	if _, ok := st.Backend().(*Disk); !ok {
+		t.Errorf("ResolveBackend(dir) backend is %T, want *Disk", st.Backend())
 	}
 }
 
-// TestOpenModeAutoDegradesToOff: the store is strictly a cache, so an
-// environment where the user cache directory cannot be resolved (no
-// $HOME — CI containers) must degrade "auto" to store-off with a
-// warning, not fail the CLI. An explicit directory still fails hard.
-func TestOpenModeAutoDegradesToOff(t *testing.T) {
+// TestResolveBackendRemote: an http:// spec resolves to a tiered store
+// (local read-through cache over the remote) whose Spec is the server
+// URL — what dispatch forwards to fleet workers. Without a usable cache
+// directory it degrades to a pure remote with a warning; a malformed URL
+// fails hard, like any explicitly named location.
+func TestResolveBackendRemote(t *testing.T) {
+	t.Setenv("XDG_CACHE_HOME", t.TempDir())
+	const url = "http://127.0.0.1:59999"
+	st, warn, err := ResolveBackend(url)
+	if err != nil || warn != "" || st == nil {
+		t.Fatalf("ResolveBackend(url) = %v, %q, %v", st, warn, err)
+	}
+	if st.Spec() != url {
+		t.Errorf("tiered Spec = %q, want the server URL %q", st.Spec(), url)
+	}
+	tiered, ok := st.Backend().(*Tiered)
+	if !ok {
+		t.Fatalf("backend is %T, want *Tiered", st.Backend())
+	}
+	if _, ok := tiered.Local().(*Disk); !ok {
+		t.Errorf("tiered local leg is %T, want *Disk", tiered.Local())
+	}
+	if _, ok := tiered.Remote().(*HTTP); !ok {
+		t.Errorf("tiered remote leg is %T, want *HTTP", tiered.Remote())
+	}
+
+	// Two different servers must not share one local tier.
+	st2, _, err := ResolveBackend("http://127.0.0.1:59998")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := tiered.Local().Spec(), st2.Backend().(*Tiered).Local().Spec(); a == b {
+		t.Errorf("two remotes share the local tier %q", a)
+	}
+
 	t.Setenv("HOME", "")
 	t.Setenv("XDG_CACHE_HOME", "")
-	st, warn, err := OpenMode("auto")
+	st, warn, err = ResolveBackend(url)
+	if err != nil || st == nil {
+		t.Fatalf("ResolveBackend(url) without cache dir = %v, %q, %v", st, warn, err)
+	}
+	if _, ok := st.Backend().(*HTTP); !ok {
+		t.Errorf("degraded backend is %T, want pure *HTTP", st.Backend())
+	}
+	if !strings.Contains(warn, "read-through cache disabled") {
+		t.Errorf("degraded remote warning unhelpful: %q", warn)
+	}
+
+	if _, _, err := ResolveBackend("http://"); err == nil {
+		t.Error("malformed URL accepted")
+	}
+}
+
+// TestResolveBackendAutoDegradesToOff: the store is strictly a cache, so
+// an environment where the user cache directory cannot be resolved (no
+// $HOME — CI containers) must degrade "auto" to store-off with a
+// warning, not fail the CLI. An explicit directory still fails hard.
+func TestResolveBackendAutoDegradesToOff(t *testing.T) {
+	t.Setenv("HOME", "")
+	t.Setenv("XDG_CACHE_HOME", "")
+	st, warn, err := ResolveBackend("auto")
 	if err != nil {
-		t.Fatalf("OpenMode(auto) hard-failed without a cache dir: %v", err)
+		t.Fatalf("ResolveBackend(auto) hard-failed without a cache dir: %v", err)
 	}
 	if st != nil {
-		t.Errorf("OpenMode(auto) opened a store at %q without a cache dir", st.Dir())
+		t.Errorf("ResolveBackend(auto) opened a store at %q without a cache dir", st.Spec())
 	}
 	if warn == "" || !strings.Contains(warn, "-store DIR") {
-		t.Errorf("degraded OpenMode(auto) warning unhelpful: %q", warn)
+		t.Errorf("degraded ResolveBackend(auto) warning unhelpful: %q", warn)
 	}
 	// The explicit-path contract is unchanged: the user named the
 	// location, so failing to create it is an error.
@@ -166,8 +235,8 @@ func TestOpenModeAutoDegradesToOff(t *testing.T) {
 	if werr := os.WriteFile(bad, []byte("file in the way"), 0o644); werr != nil {
 		t.Fatal(werr)
 	}
-	if _, _, err := OpenMode(filepath.Join(bad, "sub")); err == nil {
-		t.Error("OpenMode(explicit unusable dir) did not fail")
+	if _, _, err := ResolveBackend(filepath.Join(bad, "sub")); err == nil {
+		t.Error("ResolveBackend(explicit unusable dir) did not fail")
 	}
 }
 
@@ -180,11 +249,11 @@ func TestKeyMismatchIsAMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Copy other-key's entry file to where "wanted-key" would live.
-	data, err := os.ReadFile(s.path("other-key"))
+	data, err := os.ReadFile(diskOf(t, s).path("other-key"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(s.path("wanted-key"), data, 0o644); err != nil {
+	if err := os.WriteFile(diskOf(t, s).path("wanted-key"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if got, ok := s.Get("wanted-key"); ok {
@@ -254,5 +323,123 @@ func TestVersionedKeysDoNotAlias(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Error("empty dir accepted")
+	}
+}
+
+// TestConcurrentSameKeyPutOneAtomicWinner: two writers racing distinct
+// payloads onto one key must resolve to exactly one complete payload —
+// the atomic-rename contract means a reader can observe either writer's
+// entry but never a torn mix, and the last rename wins outright.
+func TestConcurrentSameKeyPutOneAtomicWinner(t *testing.T) {
+	s := open(t)
+	a := bytes.Repeat([]byte("A"), 8192)
+	b := bytes.Repeat([]byte("B"), 8192)
+	for round := 0; round < 50; round++ {
+		var wg sync.WaitGroup
+		var start sync.WaitGroup
+		start.Add(1)
+		for _, payload := range [][]byte{a, b} {
+			wg.Add(1)
+			go func(p []byte) {
+				defer wg.Done()
+				start.Wait()
+				if err := s.Put("contested", p); err != nil {
+					t.Error(err)
+				}
+			}(payload)
+		}
+		start.Done()
+		wg.Wait()
+		got, ok := s.Get("contested")
+		if !ok {
+			t.Fatalf("round %d: no winner published", round)
+		}
+		if !bytes.Equal(got, a) && !bytes.Equal(got, b) {
+			t.Fatalf("round %d: torn entry: %d bytes, first=%q last=%q",
+				round, len(got), got[0], got[len(got)-1])
+		}
+	}
+	// The losers' temp files must not accumulate.
+	entries, err := os.ReadDir(diskOf(t, s).Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".run") {
+			t.Errorf("leftover non-entry file %s", e.Name())
+		}
+	}
+}
+
+// TestDiskBackendSurface covers the maintenance half of the Backend
+// interface on disk: Stat, List and Delete over validated entries, with
+// corrupt and foreign files skipped rather than listed.
+func TestDiskBackendSurface(t *testing.T) {
+	s := open(t)
+	d := diskOf(t, s)
+	keys := []string{"pracsim/run/v3/a", "pracsim/run/v3/b", "pracsim/exp/v2/c"}
+	for i, k := range keys {
+		if err := s.Put(k, bytes.Repeat([]byte{byte(i + 1)}, 10*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Debris: a corrupt entry and a foreign file must not surface.
+	if err := os.WriteFile(filepath.Join(d.Dir(), Hash("junk")+".run"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(d.Dir(), "README.txt"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := d.Stat("pracsim/run/v3/b")
+	if err != nil || info.Key != "pracsim/run/v3/b" || info.Size != 20 {
+		t.Errorf("Stat = %+v, %v", info, err)
+	}
+	if _, err := d.Stat("absent"); err != ErrNotFound {
+		t.Errorf("Stat(absent) = %v, want ErrNotFound", err)
+	}
+
+	infos, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]int64{}
+	for _, i := range infos {
+		listed[i.Key] = i.Size
+	}
+	if len(listed) != len(keys) || listed["pracsim/run/v3/a"] != 10 || listed["pracsim/exp/v2/c"] != 30 {
+		t.Errorf("List = %v", listed)
+	}
+
+	if err := d.Delete("pracsim/run/v3/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("pracsim/run/v3/a"); err != ErrNotFound {
+		t.Errorf("second Delete = %v, want ErrNotFound", err)
+	}
+	if _, ok := s.Get("pracsim/run/v3/a"); ok {
+		t.Error("deleted entry still served")
+	}
+}
+
+// TestStatRejectsTruncatedEntry: Stat skips the payload checksum for
+// speed, but its size-consistency check still catches the common
+// corruption (truncation) — a half-written or chopped file must not
+// look like a present entry to Stat-before-Put callers.
+func TestStatRejectsTruncatedEntry(t *testing.T) {
+	s := open(t)
+	d := diskOf(t, s)
+	if err := s.Put("k", []byte("a payload long enough to truncate meaningfully")); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(d.path("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path("k"), pristine[:len(pristine)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := d.Stat("k"); err == nil {
+		t.Errorf("Stat served a truncated entry: %+v", info)
 	}
 }

@@ -1,0 +1,111 @@
+package store
+
+// Tiered layers a local read-through cache (normally Disk) over a remote
+// backend (normally HTTP): hot keys are served from the local tier
+// without touching the network, remote hits populate the local tier on
+// the way through, and writes go to both — so a fleet worker warms its
+// machine and the shared server with one Put. The remote is
+// authoritative: the maintenance surface (Stat/List/Delete) and the
+// reopen Spec both speak for it.
+type Tiered struct {
+	local, remote Backend
+}
+
+// NewTiered returns the tiered backend over a local cache and a remote.
+func NewTiered(local, remote Backend) *Tiered {
+	return &Tiered{local: local, remote: remote}
+}
+
+// Local returns the local tier.
+func (t *Tiered) Local() Backend { return t.local }
+
+// Remote returns the remote tier.
+func (t *Tiered) Remote() Backend { return t.remote }
+
+// Spec reports the remote's spec: reopening a tiered store means
+// pointing at the same server (each machine grows its own local tier).
+func (t *Tiered) Spec() string { return t.remote.Spec() }
+
+// RemoteStats reports the remote leg's wire traffic.
+func (t *Tiered) RemoteStats() RemoteStats {
+	if rs, ok := t.remote.(remoteStatser); ok {
+		return rs.RemoteStats()
+	}
+	return RemoteStats{}
+}
+
+// Get serves the local tier first; a local miss falls through to the
+// remote, and a remote hit back-fills the local tier (best-effort) so
+// the next Get stays off the network. A remote failure is the remote's
+// error — the Store front degrades it to a miss.
+func (t *Tiered) Get(key string) ([]byte, error) {
+	if payload, err := t.local.Get(key); err == nil {
+		return payload, nil
+	}
+	payload, err := t.remote.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	_ = t.local.Put(key, payload) // cache back-fill: a failure costs a future fetch
+	return payload, nil
+}
+
+// Put publishes to both tiers. The local write is best-effort (a full
+// local disk must not stop the fleet-visible write); the remote write's
+// error is the result, since the remote is what other workers see.
+func (t *Tiered) Put(key string, payload []byte) error {
+	_ = t.local.Put(key, payload)
+	return t.remote.Put(key, payload)
+}
+
+// Stat asks the local tier first, then the remote.
+func (t *Tiered) Stat(key string) (Info, error) {
+	if info, err := t.local.Stat(key); err == nil {
+		return info, nil
+	}
+	return t.remote.Stat(key)
+}
+
+// List enumerates the authoritative remote, plus any entries that exist
+// only in the local tier (back-filled before a server-side prune, or
+// written while the server was down) — otherwise maintenance could
+// never see, and Prune could never reclaim, local-only orphans.
+func (t *Tiered) List() ([]Info, error) {
+	infos, err := t.remote.List()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(infos))
+	for _, info := range infos {
+		seen[info.Key] = true
+	}
+	// The local tier is a plain cache on this machine; if it cannot
+	// even be listed, the remote listing still stands.
+	locals, lerr := t.local.List()
+	if lerr == nil {
+		for _, info := range locals {
+			if !seen[info.Key] {
+				infos = append(infos, info)
+			}
+		}
+	}
+	return infos, nil
+}
+
+// Delete removes the entry from both tiers: pruning a stale schema
+// version must not leave local copies resurrecting it, so a failed
+// local delete (not ErrNotFound — an entry that is already gone is
+// fine) is reported even when the remote delete succeeded. An entry
+// present in either tier counts as deleted when both tiers end up
+// without it.
+func (t *Tiered) Delete(key string) error {
+	lerr := t.local.Delete(key)
+	rerr := t.remote.Delete(key)
+	if lerr != nil && lerr != ErrNotFound {
+		return lerr
+	}
+	if rerr == ErrNotFound && lerr == nil {
+		return nil
+	}
+	return rerr
+}

@@ -52,7 +52,7 @@ func (s *Runner) Telemetry() []RunTelemetry { return s.r.tlog.snapshot() }
 func (s *Runner) TelemetryReport(top int) string {
 	out := ""
 	if s.r.store != nil {
-		out += s.r.store.Stats().Report(s.r.store.Dir()) + "\n"
+		out += s.r.store.Stats().Report(s.r.store.Spec()) + "\n"
 	}
 	entries := s.r.tlog.snapshot()
 	if len(entries) == 0 {

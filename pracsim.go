@@ -23,6 +23,7 @@ import (
 	"pracsim/internal/exp/dispatch"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
+	storeserver "pracsim/internal/exp/store/server"
 	"pracsim/internal/mitigation"
 	"pracsim/internal/sim"
 	"pracsim/internal/ticks"
@@ -143,8 +144,28 @@ type (
 	// session: a persistent content-addressed run store and a shard
 	// spec for multi-machine grids.
 	SessionOptions = exp.SessionOptions
-	// RunStore is the persistent, content-addressed run store.
+	// RunStore is the persistent, content-addressed run store: a
+	// counting, degrade-to-miss front over a StoreBackend.
 	RunStore = store.Store
+	// StoreBackend is one run-store storage implementation — disk
+	// directory, pracstored client, or tiered (local cache over remote).
+	StoreBackend = store.Backend
+	// StoreEntryInfo describes one stored entry (Stat/List).
+	StoreEntryInfo = store.Info
+	// StoreStats counts store traffic, including the remote leg's.
+	StoreStats = store.Stats
+	// DiskStore is the local-directory backend.
+	DiskStore = store.Disk
+	// HTTPStore is the pracstored client backend.
+	HTTPStore = store.HTTP
+	// TieredStore layers a local read-through cache over a remote.
+	TieredStore = store.Tiered
+	// StoreServer serves a disk store over HTTP (cmd/pracstored).
+	StoreServer = storeserver.Server
+	// StoreServerOptions configures a StoreServer (auth token, log).
+	StoreServerOptions = storeserver.Options
+	// StoreInfoReport is the maintenance summary (tpracsim -store-info).
+	StoreInfoReport = store.InfoReport
 	// ShardSpec selects one deterministic shard of a partitioned grid.
 	ShardSpec = shard.Spec
 	// DispatchOptions configures a shard-dispatch fleet run: worker
@@ -170,6 +191,24 @@ var (
 	NewExpRunnerWith = exp.NewRunnerWith
 	// OpenRunStore opens (creating if needed) a run store directory.
 	OpenRunStore = store.Open
+	// NewRunStore wraps any StoreBackend in the counting front.
+	NewRunStore = store.NewStore
+	// OpenDiskStore opens the local-directory backend.
+	OpenDiskStore = store.OpenDisk
+	// OpenHTTPStore opens a pracstored client backend for a base URL.
+	OpenHTTPStore = store.OpenHTTP
+	// NewTieredStore layers a local cache backend over a remote one.
+	NewTieredStore = store.NewTiered
+	// ResolveRunStore resolves a -store argument (dir, URL, auto, off)
+	// into an opened store — the CLIs' single entry point.
+	ResolveRunStore = store.ResolveBackend
+	// NewStoreServer builds the pracstored HTTP handler over a disk
+	// backend.
+	NewStoreServer = storeserver.New
+	// CollectStoreInfo summarizes a backend's contents (-store-info).
+	CollectStoreInfo = store.Collect
+	// PruneStore deletes entries from orphaned schema versions.
+	PruneStore = store.Prune
 	// DefaultRunStoreDir is the user-cache-dir store location.
 	DefaultRunStoreDir = store.DefaultDir
 	// ParseShard reads an "i/n" shard spec.
