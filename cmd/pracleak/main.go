@@ -43,10 +43,11 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweep sizes for fast runs")
 	workers := flag.Int("workers", 0, "concurrent sweep simulations (0 = all cores, 1 = serial)")
 	storeMode := flag.String("store", "auto", "persistent result store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
+	storeTimeout := flag.Duration("store-timeout", 10*time.Second, "per-attempt deadline for remote store requests")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
-	st, warn, err := store.ResolveBackend(*storeMode)
+	st, warn, err := store.ResolveBackendWith(*storeMode, store.HTTPOptions{Timeout: *storeTimeout})
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "pracleak: "+warn)
 	}

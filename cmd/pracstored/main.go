@@ -38,6 +38,7 @@ import (
 
 	"pracsim/internal/exp/store"
 	"pracsim/internal/exp/store/server"
+	"pracsim/internal/fault"
 )
 
 func main() {
@@ -45,10 +46,22 @@ func main() {
 	dir := flag.String("dir", "", "store directory (default: the -store auto user-cache dir)")
 	token := flag.String("token", os.Getenv(store.TokenEnv),
 		"bearer token required on /v1/* routes (default $"+store.TokenEnv+"; empty = no auth)")
+	faults := flag.String("faults", os.Getenv(fault.EnvVar),
+		"deterministic fault schedule, e.g. 'seed=7;server.get:trunc@0.2' (chaos testing; also $"+fault.EnvVar+")")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pracstored: ", log.LstdFlags)
+	if *faults != "" {
+		p, err := fault.Parse(*faults)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		p.Salt = os.Getenv(fault.SaltEnvVar)
+		p.LogTo = os.Stderr
+		fault.Enable(p)
+		logger.Printf("fault injection enabled: %s", *faults)
+	}
 	if *dir == "" {
 		d, err := store.DefaultDir()
 		if err != nil {

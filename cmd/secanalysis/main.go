@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"pracsim/internal/analysis"
 	"pracsim/internal/dram"
@@ -27,10 +28,11 @@ func main() {
 	empirical := flag.Bool("empirical", false, "also run a live Feinting attack against the solved window")
 	nbo := flag.Int("nbo", 256, "Back-Off threshold for the empirical validation")
 	storeMode := flag.String("store", "auto", "persistent result store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
+	storeTimeout := flag.Duration("store-timeout", 10*time.Second, "per-attempt deadline for remote store requests")
 	csvDir := flag.String("csvdir", "", "directory to write fig7.csv into (optional)")
 	flag.Parse()
 
-	st, warn, err := store.ResolveBackend(*storeMode)
+	st, warn, err := store.ResolveBackendWith(*storeMode, store.HTTPOptions{Timeout: *storeTimeout})
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "secanalysis: "+warn)
 	}

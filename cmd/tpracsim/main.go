@@ -37,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,8 @@ import (
 	"pracsim/internal/exp/dispatch"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
+	"pracsim/internal/fault"
+	"pracsim/internal/retry"
 	"pracsim/internal/sim"
 	"pracsim/internal/stats"
 )
@@ -73,6 +76,9 @@ func main() {
 	perCycle := flag.Bool("percycle", false, "tick every component every cycle instead of eliding idle cycles (same results, slower)")
 	differential := flag.Bool("differential", false, "run every simulation under both clockings and fail on any divergence")
 	storeMode := flag.String("store", "auto", "persistent run store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
+	storeTimeout := flag.Duration("store-timeout", 10*time.Second, "per-attempt deadline for remote store requests")
+	storeRetries := flag.Int("store-retries", 3, "per-operation attempt budget for remote store requests (including the first)")
+	faults := flag.String("faults", os.Getenv(fault.EnvVar), "deterministic fault schedule, e.g. 'seed=7;store.http.get:err@0.2;dispatch.worker:kill@0.1' (chaos testing; also $"+fault.EnvVar+")")
 	storeInfo := flag.Bool("store-info", false, "print the store's entry count, bytes, age range and per-schema footprint, then exit")
 	storePrune := flag.Bool("store-prune", false, "delete entries from orphaned (non-current) schema versions, then exit")
 	shardArg := flag.String("shard", "", "execute only shard i/n of the run keys and write a shard file instead of reports")
@@ -83,6 +89,21 @@ func main() {
 	dispatchAttempts := flag.Int("dispatch-attempts", 3, "per-shard attempt budget for -dispatch")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
+
+	if *faults != "" {
+		p, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
+			os.Exit(2)
+		}
+		p.Salt = os.Getenv(fault.SaltEnvVar)
+		p.LogTo = os.Stderr
+		fault.Enable(p)
+		// Re-exec'd fleet workers inherit the schedule through the
+		// environment (the dispatcher decorrelates them per-attempt via
+		// the salt variable).
+		os.Setenv(fault.EnvVar, *faults)
+	}
 
 	var scale exp.Scale
 	switch *scaleName {
@@ -99,7 +120,10 @@ func main() {
 	scale.PerCycle = *perCycle
 	scale.Differential = *differential
 
-	st, warn, err := store.ResolveBackend(*storeMode)
+	st, warn, err := store.ResolveBackendWith(*storeMode, store.HTTPOptions{
+		Timeout:  *storeTimeout,
+		Attempts: *storeRetries,
+	})
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "tpracsim: "+warn)
 	}
@@ -151,8 +175,8 @@ func main() {
 		if len(files) == 0 {
 			fatalf("-merge %q names no shard files", *mergeArg)
 		}
-		n, err := session.ImportShards(files...)
-		if err != nil {
+		var n int
+		if _, err := importWithRetry(session, files, &n); err != nil {
 			fatalf("merging shards: %v", err)
 		}
 		fmt.Printf("merged %d runs from %d shard file(s)\n", n, len(files))
@@ -228,6 +252,7 @@ func main() {
 			Executed: sum.Executed,
 			WallMS:   time.Since(start).Milliseconds(),
 			Store:    sum.Store,
+			Faults:   fault.Fired(),
 		}.Line())
 	}
 	// Execution telemetry: store traffic, aggregate simulation rate,
@@ -294,27 +319,48 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 		return err
 	}
 
-	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-misses"}}
+	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "backoff-ms", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-retries", "faults"}}
+	var totalBackoff time.Duration
 	for _, r := range res.Reports {
-		executed, hits, misses, rhits, rmisses := "?", "?", "?", "?", "?"
+		executed, hits, misses, rhits, rretries, faults := "?", "?", "?", "?", "?", "?"
 		if r.HasSummary {
 			executed = strconv.FormatInt(r.Summary.Executed, 10)
 			hits = strconv.FormatInt(r.Summary.Store.Hits, 10)
 			misses = strconv.FormatInt(r.Summary.Store.Misses, 10)
 			rhits = strconv.FormatInt(r.Summary.Store.Remote.Hits, 10)
-			rmisses = strconv.FormatInt(r.Summary.Store.Remote.Misses, 10)
+			rretries = strconv.FormatInt(r.Summary.Store.Remote.Retries, 10)
+			faults = strconv.FormatInt(r.Summary.Faults, 10)
 		}
-		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rmisses)
+		totalBackoff += r.Backoff
+		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Backoff.Milliseconds(), r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rretries, faults)
 	}
-	fmt.Printf("dispatch: %d shard(s) converged in %.1fs, %d retried attempt(s)\n%s",
-		len(res.Reports), res.Wall.Seconds(), res.Retries(), t.String())
+	fmt.Printf("dispatch: %d shard(s) converged in %.1fs, %d retried attempt(s), %dms total backoff\n%s",
+		len(res.Reports), res.Wall.Seconds(), res.Retries(), totalBackoff.Milliseconds(), t.String())
 
-	imported, err := session.ImportShards(res.Files...)
-	if err != nil {
+	// The shard files just validated, but the merge re-reads them; a
+	// transient read failure (NFS hiccup, an injected shard.read fault)
+	// should cost a retry, not the whole dispatched fleet's work.
+	var imported int
+	if _, err := importWithRetry(session, res.Files, &imported); err != nil {
 		return fmt.Errorf("merging dispatched shards: %w", err)
 	}
 	fmt.Printf("merged %d runs from %d dispatched shard(s)\n", imported, len(res.Files))
 	return nil
+}
+
+// importWithRetry merges shard files under the unified retry policy:
+// shard reads are plain file I/O, so a transient failure costs a paced
+// re-read rather than discarding a fleet's worth of simulation.
+func importWithRetry(session *exp.Runner, files []string, imported *int) (int, error) {
+	return retry.Policy{Attempts: 3, Base: 100 * time.Millisecond}.Do(
+		context.Background(), "merge shards", func(context.Context, int) error {
+			n, err := session.ImportShards(files...)
+			if err != nil {
+				return err
+			}
+			*imported = n
+			return nil
+		})
 }
 
 // runStoreMaintenance serves -store-info / -store-prune: the

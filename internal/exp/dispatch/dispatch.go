@@ -33,6 +33,8 @@ import (
 	"time"
 
 	"pracsim/internal/exp/shard"
+	"pracsim/internal/fault"
+	"pracsim/internal/retry"
 )
 
 // Options configures one dispatch run.
@@ -82,6 +84,15 @@ type Options struct {
 	// in noise-level time; a tiny median must not trigger backups).
 	// 0 means 15s.
 	StragglerMin time.Duration
+	// RetryBase paces shard re-dispatch after a failed attempt: the
+	// retry waits RetryBase before the second attempt, doubling per
+	// retry (capped at RetryMax) with deterministic jitter — so a
+	// systematic failure (a dead store, a bad binary) does not hammer
+	// the fleet in a tight loop. 0 means 250ms. Backoff only delays the
+	// failed shard; other shards keep dispatching on idle slots.
+	RetryBase time.Duration
+	// RetryMax caps a single re-dispatch wait. 0 means 8×RetryBase.
+	RetryMax time.Duration
 }
 
 // ShardReport summarizes one converged shard.
@@ -92,6 +103,7 @@ type ShardReport struct {
 	Attempts int           // attempts launched (retries = Attempts-1)
 	Runs     int           // entries in the shard file
 	Wall     time.Duration // winning attempt's wall-clock
+	Backoff  time.Duration // total re-dispatch backoff this shard waited
 	// Summary is the worker's self-reported session trailer (runs
 	// executed, store traffic); zero when the worker printed none —
 	// fake workers in tests and non-tpracsim fleets need not emit it.
@@ -162,8 +174,16 @@ type shardState struct {
 	attempts int          // launched so far
 	excluded map[int]bool // slots a failed attempt ran on
 	running  []*attempt
+	backoff  time.Duration // total re-dispatch backoff waited
 	done     bool
 	report   ShardReport
+}
+
+// pendingShard is one shard awaiting (re-)dispatch; readyAt holds its
+// retry backoff — zero for first launches.
+type pendingShard struct {
+	index   int
+	readyAt time.Time
 }
 
 type doneEvent struct {
@@ -177,6 +197,7 @@ type dispatcher struct {
 	dir    string
 	events chan doneEvent
 	ctx    context.Context
+	policy retry.Policy // paces shard re-dispatch (Delay only; no sleeping in the loop)
 
 	logMu sync.Mutex
 	log   io.Writer
@@ -209,6 +230,9 @@ func Run(opts Options) (*Result, error) {
 	if opts.StragglerMin <= 0 {
 		opts.StragglerMin = 15 * time.Second
 	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 250 * time.Millisecond
+	}
 	if opts.Log == nil {
 		opts.Log = io.Discard
 	}
@@ -231,17 +255,18 @@ func Run(opts Options) (*Result, error) {
 		// deliver their event and exit, even after Run has returned.
 		events: make(chan doneEvent, opts.Shards*opts.Attempts+workers),
 		ctx:    ctx,
+		policy: retry.Policy{Base: opts.RetryBase, Max: opts.RetryMax},
 		log:    opts.Log,
 	}
 
 	states := make([]*shardState, opts.Shards)
-	pending := make([]int, 0, opts.Shards)
+	pending := make([]pendingShard, 0, opts.Shards)
 	for i := range states {
 		states[i] = &shardState{
 			sp:       shard.Spec{Index: i, Count: opts.Shards},
 			excluded: make(map[int]bool),
 		}
-		pending = append(pending, i)
+		pending = append(pending, pendingShard{index: i})
 	}
 	idle := make([]int, 0, workers)
 	for s := 0; s < workers; s++ {
@@ -264,10 +289,16 @@ func Run(opts Options) (*Result, error) {
 	completed := 0
 	var converged []time.Duration
 	for completed < opts.Shards {
-		for len(pending) > 0 && len(idle) > 0 {
-			si := pending[0]
-			pending = pending[1:]
-			st := states[si]
+		// Launch every pending shard whose backoff has elapsed onto an
+		// idle slot; shards still backing off stay queued without
+		// blocking their peers.
+		for len(idle) > 0 {
+			pi := nextReady(pending, time.Now())
+			if pi < 0 {
+				break
+			}
+			st := states[pending[pi].index]
+			pending = append(pending[:pi], pending[pi+1:]...)
 			slot := takeSlot(&idle, st.excluded)
 			d.launch(st, slot)
 		}
@@ -275,8 +306,23 @@ func Run(opts Options) (*Result, error) {
 			d.maybeBackup(states, &idle, converged)
 		}
 
+		// When the only runnable work is a shard waiting out its backoff,
+		// arm a wake-up for it so the loop never stalls on the event
+		// channel with dispatchable work queued.
+		var backoffCh <-chan time.Time
+		var backoffTimer *time.Timer
+		if len(idle) > 0 {
+			if wait, ok := earliestReady(pending, time.Now()); ok {
+				backoffTimer = time.NewTimer(wait)
+				backoffCh = backoffTimer.C
+			}
+		}
+
 		select {
 		case ev := <-d.events:
+			if backoffTimer != nil {
+				backoffTimer.Stop()
+			}
 			st := states[ev.a.sp.Index]
 			idle = append(idle, ev.a.slot)
 			st.running = removeAttempt(st.running, ev.a)
@@ -311,8 +357,20 @@ func Run(opts Options) (*Result, error) {
 				return nil, fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w\nworker stderr (last lines):\n%s",
 					st.sp, st.attempts, ev.err, ev.a.lastStderr())
 			}
-			pending = append(pending, st.sp.Index)
+			// Requeue under the retry policy: capped exponential backoff
+			// with deterministic jitter, keyed by shard so concurrent
+			// failures decorrelate.
+			delay := d.policy.Delay("shard "+st.sp.String(), st.attempts)
+			st.backoff += delay
+			if delay > 0 {
+				d.logf("dispatch: shard %s backing off %dms before attempt %d", st.sp, delay.Milliseconds(), st.attempts+1)
+			}
+			pending = append(pending, pendingShard{index: st.sp.Index, readyAt: time.Now().Add(delay)})
 		case <-tick:
+			if backoffTimer != nil {
+				backoffTimer.Stop()
+			}
+		case <-backoffCh:
 		}
 	}
 
@@ -350,9 +408,28 @@ func (d *dispatcher) launch(st *shardState, slot int) {
 	} else {
 		cmd = exec.CommandContext(actx, workerArgv[0], workerArgv[1:]...)
 	}
+	// Each attempt gets a distinct fault salt, so a worker retried under
+	// an inherited -faults schedule draws a fresh fault sequence instead
+	// of deterministically re-hitting the exact failure that killed it.
+	cmd.Env = append(os.Environ(), fmt.Sprintf("%s=shard-%d-attempt-%d", fault.SaltEnvVar, st.sp.Index, st.attempts))
 	d.logf("dispatch: shard %s attempt %d -> slot %d", st.sp, st.attempts, slot)
 	st.running = append(st.running, a)
-	go func() { d.events <- doneEvent{a, d.runAttempt(cmd, a)} }()
+	// The dispatch.spawn failpoint fails or delays the launch itself —
+	// a fleet hook (ssh, scheduler) that errors before the worker runs.
+	spawn := fault.Fire(fault.DispatchSpawn)
+	if spawn != nil && spawn.Kind == fault.Err {
+		go func() { d.events <- doneEvent{a, spawn.Err("spawn shard " + st.sp.String())} }()
+		return
+	}
+	go func() {
+		if spawn != nil && spawn.Kind == fault.Delay {
+			select {
+			case <-time.After(spawn.Value):
+			case <-actx.Done():
+			}
+		}
+		d.events <- doneEvent{a, d.runAttempt(cmd, a)}
+	}()
 }
 
 // finish records a converged shard and kills its redundant siblings.
@@ -377,6 +454,7 @@ func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
 		Attempts:   st.attempts,
 		Runs:       runs,
 		Wall:       wall,
+		Backoff:    st.backoff,
 		Summary:    sum,
 		HasSummary: ok,
 	}
@@ -448,7 +526,30 @@ func (d *dispatcher) runAttempt(cmd *exec.Cmd, a *attempt) error {
 	// child (or a kill that orphans one) must not wedge the whole
 	// dispatch behind an inherited file descriptor.
 	cmd.WaitDelay = 5 * time.Second
-	err := cmd.Run()
+	// The dispatch.worker failpoint delays or kills this worker from the
+	// outside — the machine-reboot / OOM-kill case the retry budget and
+	// atomic shard writes exist for.
+	act := fault.Fire(fault.DispatchWorker)
+	if act != nil && act.Kind == fault.Delay {
+		select {
+		case <-time.After(act.Value):
+		case <-d.ctx.Done():
+		}
+	}
+	if err := cmd.Start(); err != nil {
+		stdout.flush()
+		stderr.flush()
+		return err
+	}
+	if act != nil && act.Kind == fault.Kill {
+		after := act.Value
+		if after <= 0 {
+			after = time.Second
+		}
+		t := time.AfterFunc(after, func() { cmd.Process.Kill() })
+		defer t.Stop()
+	}
+	err := cmd.Wait()
 	stdout.flush()
 	stderr.flush()
 	return err
@@ -486,6 +587,34 @@ func sweepAttempts(states []*shardState) {
 			}
 		}
 	}
+}
+
+// nextReady returns the index in pending of the first shard whose
+// backoff has elapsed, or -1.
+func nextReady(pending []pendingShard, now time.Time) int {
+	for i, p := range pending {
+		if !p.readyAt.After(now) {
+			return i
+		}
+	}
+	return -1
+}
+
+// earliestReady reports how long until the soonest pending shard becomes
+// dispatchable (ok false when nothing is pending).
+func earliestReady(pending []pendingShard, now time.Time) (time.Duration, bool) {
+	ok := false
+	var min time.Duration
+	for _, p := range pending {
+		d := p.readyAt.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		if !ok || d < min {
+			min, ok = d, true
+		}
+	}
+	return min, ok
 }
 
 // takeSlot pops an idle slot, preferring one no failed attempt of this

@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
+	"pracsim/internal/fault"
 )
 
 // testSchema stamps the fake shard files the tests exchange.
@@ -63,6 +65,12 @@ func fakeWorkerMain() {
 		}
 	}
 	fmt.Printf("fake worker running shard %s\n", sp)
+	// Surface the per-attempt fault salt the driver injects, and stay
+	// alive long enough for a dispatch.worker kill fault to land.
+	fmt.Printf("fake worker salt %s\n", os.Getenv(fault.SaltEnvVar))
+	if ms, err := strconv.Atoi(os.Getenv("PRACSIM_DISPATCH_FAKE_SLEEP_MS")); err == nil && ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
 	if err := shard.WriteFile(out, testSchema, sp, entries); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -269,6 +277,92 @@ func TestStragglerBackup(t *testing.T) {
 	}
 }
 
+// TestWorkerKillFaultRetriedWithBackoff pins the retry accounting under
+// an injected worker crash: a dispatch.worker kill fault SIGKILLs the
+// first attempt mid-run, the driver backs off per the retry policy and
+// re-dispatches, and the converged report carries the attempt, backoff
+// and salt evidence — the chaos-mode observability contract.
+func TestWorkerKillFaultRetriedWithBackoff(t *testing.T) {
+	t.Setenv("PRACSIM_DISPATCH_FAKE_WORKER", "1")
+	t.Setenv("PRACSIM_DISPATCH_FAKE_SLEEP_MS", "500")
+	p, err := fault.Parse("seed=3;dispatch.worker:kill=50msx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+
+	var log bytes.Buffer
+	res, err := Run(Options{
+		Shards:    1,
+		Workers:   2,
+		Argv:      []string{os.Args[0]},
+		Dir:       t.TempDir(),
+		Schema:    testSchema,
+		Log:       &log,
+		RetryBase: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	rep := res.Reports[0]
+	if rep.Attempts != 2 {
+		t.Errorf("killed worker should cost exactly one retry; got attempts=%d", rep.Attempts)
+	}
+	if res.Retries() != 1 {
+		t.Errorf("Retries() = %d, want 1", res.Retries())
+	}
+	if rep.Backoff <= 0 {
+		t.Errorf("retried shard reports no backoff: %+v", rep)
+	}
+	if !strings.Contains(log.String(), "backing off") {
+		t.Errorf("backoff not visible in progress log:\n%s", log.String())
+	}
+	// The driver decorrelates retried workers: each attempt carries a
+	// distinct fault salt through the environment.
+	for _, want := range []string{"fake worker salt shard-0-attempt-1", "fake worker salt shard-0-attempt-2"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("log missing %q:\n%s", want, log.String())
+		}
+	}
+	if _, err := shard.ReadFile(res.Files[0], testSchema); err != nil {
+		t.Errorf("final file invalid after injected kill: %v", err)
+	}
+}
+
+// TestSpawnFaultRetried: a dispatch.spawn err fault fails the launch
+// before any process runs; the driver retries it like any worker
+// failure.
+func TestSpawnFaultRetried(t *testing.T) {
+	t.Setenv("PRACSIM_DISPATCH_FAKE_WORKER", "1")
+	p, err := fault.Parse("seed=1;dispatch.spawn:errx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+
+	var log bytes.Buffer
+	res, err := Run(Options{
+		Shards:    1,
+		Workers:   2,
+		Argv:      []string{os.Args[0]},
+		Dir:       t.TempDir(),
+		Schema:    testSchema,
+		Log:       &log,
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if got := res.Reports[0].Attempts; got != 2 {
+		t.Errorf("failed spawn should cost exactly one retry; got attempts=%d", got)
+	}
+	if !strings.Contains(log.String(), "injected") {
+		t.Errorf("injected spawn failure not visible in progress log:\n%s", log.String())
+	}
+}
+
 // TestSummaryRoundTrip pins the worker trailer wire format.
 func TestSummaryRoundTrip(t *testing.T) {
 	in := Summary{
@@ -277,6 +371,7 @@ func TestSummaryRoundTrip(t *testing.T) {
 		Executed: 9,
 		WallMS:   1234,
 		Store:    store.Stats{Hits: 7, Misses: 9, Writes: 9, BytesRead: 100, BytesWritten: 300},
+		Faults:   3,
 	}
 	out, ok := ParseSummaryLine(in.Line())
 	if !ok || out != in {

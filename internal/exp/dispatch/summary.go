@@ -21,6 +21,9 @@ type Summary struct {
 	Executed int64       `json:"executed"` // simulations actually run (store hits excluded)
 	WallMS   int64       `json:"wall_ms"`  // worker wall-clock
 	Store    store.Stats `json:"store"`    // worker's store traffic (zero without a store)
+	// Faults counts failpoints the worker's -faults schedule injected in
+	// its process (fault.Fired); zero without a schedule.
+	Faults int64 `json:"faults,omitempty"`
 }
 
 // Line renders the trailer as the single stdout line workers print.

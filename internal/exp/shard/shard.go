@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"pracsim/internal/fault"
 )
 
 // format stamps the shard-file header; a layout change bumps the suffix.
@@ -118,13 +120,27 @@ func WriteFile(path string, schema int, sp Spec, entries []Entry) error {
 	// which would force world-readable files past a restrictive umask.
 	// The pid suffix keeps concurrent processes apart; within a process
 	// every attempt writes a distinct path.
+	out := buf.Bytes()
+	if a := fault.Fire(fault.ShardWrite); a != nil {
+		switch a.Kind {
+		case fault.Err:
+			return a.Err("write " + path)
+		case fault.Short:
+			// Publish the torn write: the tmp suffix means no reader sees
+			// it, exactly like a worker killed mid-write.
+			out = out[:len(out)/2]
+			tmpName := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
+			os.WriteFile(tmpName, out, 0o644)
+			return fmt.Errorf("shard: write %s: injected %w", path, io.ErrShortWrite)
+		}
+	}
 	tmpName := fmt.Sprintf("%s.tmp%d", path, os.Getpid())
 	tmp, err := os.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("shard: %w", err)
 	}
 	defer os.Remove(tmpName) // no-op after a successful rename
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(out); err != nil {
 		tmp.Close()
 		return fmt.Errorf("shard: %w", err)
 	}
@@ -166,12 +182,22 @@ func Validate(path string, schema int) (int, error) {
 // scanFile is the shared streaming reader: header checks, per-entry
 // decode (delivered to each when non-nil) and the Runs count check.
 func scanFile(path string, schema int, each func(Entry)) (int, error) {
+	act := fault.Fire(fault.ShardRead)
+	if act != nil && act.Kind == fault.Err {
+		return 0, act.Err("read " + path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, fmt.Errorf("shard: %w", err)
 	}
 	defer f.Close()
-	dec := json.NewDecoder(bufio.NewReader(f))
+	var rd io.Reader = bufio.NewReader(f)
+	if act != nil && act.Kind == fault.Corrupt {
+		// A bit flip in the stream: the JSON decode or the header/Runs
+		// check downstream must catch it, never a silent bad merge.
+		rd = &corruptReader{r: rd}
+	}
+	dec := json.NewDecoder(rd)
 	var h header
 	if err := dec.Decode(&h); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -203,4 +229,28 @@ func scanFile(path string, schema int, each func(Entry)) (int, error) {
 		return 0, fmt.Errorf("shard: %s holds %d runs, header says %d (truncated?)", path, count, h.Runs)
 	}
 	return count, nil
+}
+
+// corruptReader flips one byte partway into the stream — the shard.read
+// failpoint's bitrot vehicle.
+type corruptReader struct {
+	r    io.Reader
+	read int64
+	done bool
+}
+
+func (c *corruptReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	// Flip a byte once, past the header region, so the corruption lands
+	// in entry data rather than trivially failing the first decode.
+	if !c.done && n > 0 && c.read+int64(n) > 256 {
+		i := 256 - c.read
+		if i < 0 || i >= int64(n) {
+			i = int64(n) - 1
+		}
+		p[i] ^= 0x80
+		c.done = true
+	}
+	c.read += int64(n)
+	return n, err
 }

@@ -65,7 +65,11 @@ type RemoteStats struct {
 	// after consecutive transport failures opened its circuit breaker —
 	// how a sweep against a black-holed server stays seconds, not
 	// timeout-minutes.
-	Skipped      int64 `json:"skipped"`
+	Skipped int64 `json:"skipped"`
+	// Retries counts request attempts beyond each operation's first —
+	// transient failures the retry policy absorbed before the operation
+	// succeeded or degraded.
+	Retries      int64 `json:"retries"`
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
 }

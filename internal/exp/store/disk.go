@@ -10,7 +10,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
+
+	"pracsim/internal/fault"
 )
 
 // magic stamps the entry-file format; a format change bumps the suffix.
@@ -101,6 +105,10 @@ func DecodeFrameAny(data []byte) (key string, payload []byte, err error) {
 // unchanged: stores written by earlier releases read back as-is.
 type Disk struct {
 	dir string
+
+	// quarantined counts entries Get moved aside after they failed
+	// validation; see Quarantined.
+	quarantined atomic.Int64
 }
 
 // OpenDisk creates (if needed) and returns the disk backend rooted at dir.
@@ -128,19 +136,59 @@ func (d *Disk) hashPath(hash string) string {
 
 // Get returns the payload stored under key: ErrNotFound when absent, a
 // validation error when the entry is truncated, corrupted or colliding.
+// An entry that fails validation is quarantined — renamed to
+// *.quarantine, out of the .run namespace — so the bad bytes are read
+// and rejected once, not on every access, while staying on disk for
+// diagnosis.
 func (d *Disk) Get(key string) ([]byte, error) {
-	data, err := os.ReadFile(d.path(key))
+	path := d.path(key)
+	act := fault.Fire(fault.StoreDiskGet)
+	if act != nil && act.Kind == fault.Err {
+		return nil, act.Err("get " + path)
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, ErrNotFound
 		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return DecodeFrame(data, key)
+	if act != nil && act.Kind == fault.Corrupt {
+		data = fault.CorruptByte(data)
+	}
+	payload, err := DecodeFrame(data, key)
+	if err != nil {
+		d.quarantine(path)
+		return nil, err
+	}
+	return payload, nil
 }
+
+// quarantine moves a failed-validation entry aside, best-effort: the
+// rename removes it from the .run namespace (List, Stat and future Gets
+// see it as absent) while keeping the bytes for diagnosis. A re-Put of
+// the key publishes a fresh entry at the original path.
+func (d *Disk) quarantine(path string) {
+	if os.Rename(path, path+".quarantine") == nil {
+		d.quarantined.Add(1)
+	}
+}
+
+// Quarantined reports how many corrupt entries this backend moved aside.
+func (d *Disk) Quarantined() int64 { return d.quarantined.Load() }
 
 // Put stores payload under key via the atomic temp-file + rename path.
 func (d *Disk) Put(key string, payload []byte) error {
+	if a := fault.Fire(fault.StoreDiskPut); a != nil {
+		switch a.Kind {
+		case fault.ENOSPC:
+			return fmt.Errorf("store: put %s: injected %w", d.dir, syscall.ENOSPC)
+		case fault.Short:
+			return fmt.Errorf("store: put %s: injected %w", d.dir, io.ErrShortWrite)
+		case fault.Err:
+			return a.Err("put " + d.dir)
+		}
+	}
 	return d.writeAtomic(d.path(key), EncodeFrame(key, payload))
 }
 

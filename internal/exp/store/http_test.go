@@ -2,9 +2,11 @@ package store_test
 
 import (
 	"bytes"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"pracsim/internal/exp/store"
 	"pracsim/internal/exp/store/server"
@@ -19,9 +21,15 @@ func disk(t *testing.T) *store.Disk {
 	return d
 }
 
+// httpClient opens a client with test-speed retry pacing (microsecond
+// backoff instead of 50ms) and a breaker cooldown long past the test, so
+// counter assertions are deterministic: an opened circuit stays open.
 func httpClient(t *testing.T, url string) *store.HTTP {
 	t.Helper()
-	h, err := store.OpenHTTP(url)
+	h, err := store.OpenHTTPWith(url, store.HTTPOptions{
+		RetryBase:       time.Microsecond,
+		BreakerCooldown: time.Minute,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +86,11 @@ func TestMisbehavingServerDegradesToMiss(t *testing.T) {
 
 // TestUnreachableServerDegrades: a connection refused (the server died,
 // the port is wrong) is a miss on Get and an error on Put — which every
-// caller treats as best-effort — with the failure visible in the remote
-// stats rather than silently swallowed.
+// caller treats as best-effort — with every attempt, retry and fast-fail
+// visible in the remote stats rather than silently swallowed. The Get
+// burns its full 3-attempt budget (3 errors, 2 retries); the Put's first
+// two attempts reach the trip threshold of 5 consecutive failures, so
+// its third fails fast as a skip.
 func TestUnreachableServerDegrades(t *testing.T) {
 	ts := httptest.NewServer(http.NotFoundHandler())
 	url := ts.URL
@@ -93,8 +104,11 @@ func TestUnreachableServerDegrades(t *testing.T) {
 		t.Fatal("Put to a dead server reported success")
 	}
 	st := front.Stats()
-	if st.Misses != 1 || st.Writes != 0 || st.Remote.Errors != 2 {
-		t.Errorf("stats = %+v, want 1 miss / 0 writes / 2 remote errors", st)
+	if st.Misses != 1 || st.Writes != 0 {
+		t.Errorf("stats = %+v, want 1 miss / 0 writes", st)
+	}
+	if r := st.Remote; r.Errors != 5 || r.Retries != 4 || r.Skipped != 1 {
+		t.Errorf("remote stats = %+v, want 5 errors / 4 retries / 1 skip", r)
 	}
 }
 
@@ -191,10 +205,12 @@ func TestTieredDeleteRemovesBothTiers(t *testing.T) {
 	}
 }
 
-// TestCircuitBreakerFailsFast: after a handful of consecutive transport
+// TestCircuitBreakerFailsFast: after breakerTrip consecutive transport
 // failures the client stops dialing and fails operations immediately
-// (counted as skips, with periodic probes), so a sweep against a
-// black-holed server costs recomputes, not a timeout per run.
+// (counted as skips), so a sweep against a black-holed server costs
+// recomputes, not a timeout per run. The first two operations burn 5
+// real attempts between them (tripping the breaker mid-second-op); with
+// the cooldown far past the test, every later attempt is a fast-fail.
 func TestCircuitBreakerFailsFast(t *testing.T) {
 	ts := httptest.NewServer(http.NotFoundHandler())
 	url := ts.URL
@@ -207,14 +223,11 @@ func TestCircuitBreakerFailsFast(t *testing.T) {
 		}
 	}
 	rs := front.Stats().Remote
-	if rs.Skipped < 40 {
-		t.Errorf("breaker never opened: %+v", rs)
+	if rs.Errors != 5 {
+		t.Errorf("real dials = %d, want exactly the 5 that tripped the breaker: %+v", rs.Errors, rs)
 	}
-	if rs.Errors >= 20 {
-		t.Errorf("too many real dials for an open breaker: %+v", rs)
-	}
-	if rs.Errors+rs.Skipped != 60 {
-		t.Errorf("errors+skipped = %d, want 60: %+v", rs.Errors+rs.Skipped, rs)
+	if rs.Skipped != 59 {
+		t.Errorf("skips = %d, want 59 (one mid-op fast-fail + 58 whole ops): %+v", rs.Skipped, rs)
 	}
 }
 
@@ -232,9 +245,108 @@ func TestBreakerIgnoresServerErrors(t *testing.T) {
 			t.Fatal("hit from a 500 server")
 		}
 	}
+	// A 5xx is transient from the client's perspective, so every Get
+	// burns its 3-attempt budget — 60 real requests, none skipped.
 	rs := front.Stats().Remote
-	if rs.Skipped != 0 || rs.Errors != 20 {
-		t.Errorf("remote stats = %+v, want 20 real errors and no skips", rs)
+	if rs.Skipped != 0 || rs.Errors != 60 || rs.Retries != 40 {
+		t.Errorf("remote stats = %+v, want 60 errors / 40 retries / no skips", rs)
+	}
+}
+
+// TestBreakerHalfOpenRecovery is the recovery half of the breaker
+// contract: a server that dies mid-run trips the circuit, and once it
+// restarts (same address) the client's half-open probe rediscovers it —
+// remote hits resume within one cooldown interval instead of the client
+// failing fast forever.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	d := disk(t)
+	if err := d.Put("pracsim/run/v3/hot", []byte("hot payload")); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	srv := &http.Server{Handler: server.New(d, server.Options{})}
+	go srv.Serve(l)
+
+	const cooldown = 100 * time.Millisecond
+	h, err := store.OpenHTTPWith("http://"+addr, store.HTTPOptions{
+		Attempts:        1, // isolate the breaker from retry pacing
+		RetryBase:       time.Microsecond,
+		BreakerCooldown: cooldown,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := store.NewStore(h)
+	if _, ok := front.Get("pracsim/run/v3/hot"); !ok {
+		t.Fatal("no hit from the live server")
+	}
+
+	srv.Close() // the shared store dies mid-fleet
+	for i := 0; i < 10; i++ {
+		front.Get("pracsim/run/v3/hot") // misses; trips the breaker
+	}
+	if rs := front.Stats().Remote; rs.Skipped == 0 {
+		t.Fatalf("breaker never opened: %+v", rs)
+	}
+
+	// Restart on the same address; the next half-open probe must close
+	// the circuit. Allow a few cooldowns of slack for the restart itself,
+	// then require a hit within roughly one interval of polling.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := &http.Server{Handler: server.New(d, server.Options{})}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+
+	deadline := time.Now().Add(20 * cooldown)
+	recovered := false
+	for time.Now().Before(deadline) {
+		before := front.Stats().Remote.Hits
+		front.Get("pracsim/run/v3/hot")
+		if front.Stats().Remote.Hits > before {
+			recovered = true
+			break
+		}
+		time.Sleep(cooldown / 10)
+	}
+	if !recovered {
+		t.Fatalf("client never resumed remote hits after server restart: %+v", front.Stats().Remote)
+	}
+}
+
+// TestPerAttemptTimeout: the deadline is per attempt, not per client —
+// a black-holed request is abandoned after HTTPOptions.Timeout, and the
+// operation (with Attempts:1) degrades to a miss on the Store front
+// instead of stalling the worker.
+func TestPerAttemptTimeout(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // black hole: hold until the client gives up
+	}))
+	defer ts.Close()
+
+	h, err := store.OpenHTTPWith(ts.URL, store.HTTPOptions{
+		Timeout:  50 * time.Millisecond,
+		Attempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := store.NewStore(h)
+	start := time.Now()
+	if _, ok := front.Get("pracsim/run/v3/k"); ok {
+		t.Fatal("hit from a black-holed server")
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("timed-out Get took %v, want ~50ms", took)
+	}
+	if rs := front.Stats().Remote; rs.Errors != 1 {
+		t.Errorf("remote stats = %+v, want the timeout counted once", rs)
 	}
 }
 

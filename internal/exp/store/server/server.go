@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"pracsim/internal/exp/store"
+	"pracsim/internal/fault"
 )
 
 // Options configures a Server.
@@ -132,6 +133,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The server.get failpoint fails the request (err -> 500) or mangles
+	// the served frame (trunc, corrupt) — a misbehaving or bit-rotting
+	// server for the client's validation to catch.
+	act := fault.Fire(fault.ServerGet)
+	if act != nil && act.Kind == fault.Err {
+		http.Error(w, act.Err("get "+hash).Error(), http.StatusInternalServerError)
+		return
+	}
 	frame, _, err := s.disk.GetFrame(hash)
 	if err != nil {
 		if errors.Is(err, store.ErrNotFound) {
@@ -141,6 +150,14 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
+	}
+	if act != nil {
+		switch act.Kind {
+		case fault.Trunc:
+			frame = frame[:len(frame)/2]
+		case fault.Corrupt:
+			frame = fault.CorruptByte(append([]byte(nil), frame...))
+		}
 	}
 	s.hits.Add(1)
 	s.bytesOut.Add(int64(len(frame)))
@@ -159,6 +176,10 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	s.puts.Add(1)
 	hash, ok := s.hash(w, r)
 	if !ok {
+		return
+	}
+	if a := fault.Fire(fault.ServerPut); a != nil && a.Kind == fault.Err {
+		http.Error(w, a.Err("put "+hash).Error(), http.StatusInternalServerError)
 		return
 	}
 	var body io.Reader = http.MaxBytesReader(w, r.Body, store.MaxEntryBytes)
@@ -275,6 +296,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("pracstored_auth_failures_total", "Requests with a missing or wrong bearer token.", s.authFails.Load())
 	counter("pracstored_bytes_out_total", "Frame bytes served.", s.bytesOut.Load())
 	counter("pracstored_bytes_in_total", "Payload bytes accepted.", s.bytesIn.Load())
+	if n := fault.Fired(); n > 0 {
+		counter("pracstored_faults_injected_total", "Faults injected by the -faults schedule.", n)
+	}
 	gauge("pracstored_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds())
 	if entries, bytes, err := s.disk.Footprint(); err == nil {
 		gauge("pracstored_entries", "Entry files in the store.", float64(entries))

@@ -26,11 +26,14 @@ package store
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"syscall"
 )
 
 // Stats counts store traffic as seen by the session: front hits and
@@ -44,6 +47,12 @@ type Stats struct {
 	Writes       int64
 	BytesRead    int64
 	BytesWritten int64
+	// Quarantined counts corrupt entries the disk tier moved aside
+	// (renamed to *.quarantine) after they failed validation on read.
+	Quarantined int64
+	// WritesDropped counts Puts the front discarded after the backing
+	// storage reported itself full (see Store.Put's degrade contract).
+	WritesDropped int64
 	// Remote is the remote leg's wire traffic (zero for local-only
 	// backends). Remote.Errors counts transport failures and corrupt
 	// responses — every one degraded to a miss or a skipped write.
@@ -56,7 +65,13 @@ type Stats struct {
 type Store struct {
 	b Backend
 
-	hits, misses, writes, bytesRead, bytesWritten atomic.Int64
+	// Warn, when set, receives the store's degrade warnings (one line
+	// each, each condition at most once); nil means stderr. Set it before
+	// first use.
+	Warn func(msg string)
+
+	hits, misses, writes, bytesRead, bytesWritten, writesDropped atomic.Int64
+	writeOff                                                     atomic.Bool
 }
 
 // NewStore wraps a backend in the counting, degrading front.
@@ -119,6 +134,13 @@ func IsRemoteSpec(mode string) bool {
 // An explicit directory or URL still fails hard — the user asked for
 // that location.
 func ResolveBackend(mode string) (st *Store, warning string, err error) {
+	return ResolveBackendWith(mode, HTTPOptions{})
+}
+
+// ResolveBackendWith is ResolveBackend with an explicit failure policy
+// for the remote leg — how -store-timeout and -store-retries reach the
+// client.
+func ResolveBackendWith(mode string, opts HTTPOptions) (st *Store, warning string, err error) {
 	switch mode {
 	case "off", "none", "":
 		return nil, "", nil
@@ -133,7 +155,7 @@ func ResolveBackend(mode string) (st *Store, warning string, err error) {
 		return nil, fmt.Sprintf("run store disabled (%v); pass -store DIR to persist runs", derr), nil
 	}
 	if IsRemoteSpec(mode) {
-		remote, err := OpenHTTP(mode)
+		remote, err := OpenHTTPWith(mode, opts)
 		if err != nil {
 			return nil, "", err
 		}
@@ -166,9 +188,18 @@ func (st Stats) Report(spec string) string {
 		out += fmt.Sprintf("; remote: %d hits, %d misses, %d errors, %.1f KB down, %.1f KB up",
 			r.Hits, r.Misses, r.Errors,
 			float64(r.BytesRead)/1024, float64(r.BytesWritten)/1024)
+		if r.Retries > 0 {
+			out += fmt.Sprintf(", %d retries", r.Retries)
+		}
 		if r.Skipped > 0 {
 			out += fmt.Sprintf(", %d skipped (circuit open)", r.Skipped)
 		}
+	}
+	if st.Quarantined > 0 {
+		out += fmt.Sprintf("; quarantined %d corrupt entries", st.Quarantined)
+	}
+	if st.WritesDropped > 0 {
+		out += fmt.Sprintf("; store full, %d writes dropped", st.WritesDropped)
 	}
 	return out
 }
@@ -176,16 +207,26 @@ func (st Stats) Report(spec string) string {
 // Stats snapshots the store's traffic counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Hits:         s.hits.Load(),
-		Misses:       s.misses.Load(),
-		Writes:       s.writes.Load(),
-		BytesRead:    s.bytesRead.Load(),
-		BytesWritten: s.bytesWritten.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Writes:        s.writes.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		BytesWritten:  s.bytesWritten.Load(),
+		WritesDropped: s.writesDropped.Load(),
 	}
 	if rs, ok := s.b.(remoteStatser); ok {
 		st.Remote = rs.RemoteStats()
 	}
+	if q, ok := s.b.(quarantiner); ok {
+		st.Quarantined = q.Quarantined()
+	}
 	return st
+}
+
+// quarantiner is implemented by backends with a disk tier that moves
+// corrupt entries aside (Disk itself, Tiered by delegation).
+type quarantiner interface {
+	Quarantined() int64
 }
 
 // Hash is the content address of a key: SHA-256 over the key string. The
@@ -213,11 +254,44 @@ func (s *Store) Get(key string) ([]byte, bool) {
 
 // Put stores payload under key, atomically and durably. The last writer
 // wins; with deterministic payloads all writers carry identical bytes.
+//
+// A backend that reports itself out of space (ENOSPC, quota, read-only
+// filesystem, short write) does not fail the run: the store is strictly
+// a cache, so Put degrades to store-off for the rest of the process —
+// one warning line, every later write counted in Stats.WritesDropped,
+// reads continuing to serve what was already stored.
 func (s *Store) Put(key string, payload []byte) error {
+	if s.writeOff.Load() {
+		s.writesDropped.Add(1)
+		return nil
+	}
 	if err := s.b.Put(key, payload); err != nil {
-		return err
+		if !isStorageFull(err) {
+			return err
+		}
+		if s.writeOff.CompareAndSwap(false, true) {
+			s.warnf("store: writes disabled for this process: %v (cached reads continue; new runs recompute)", err)
+		}
+		s.writesDropped.Add(1)
+		return nil
 	}
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(payload)))
 	return nil
+}
+
+func (s *Store) warnf(format string, a ...any) {
+	msg := fmt.Sprintf(format, a...)
+	if s.Warn != nil {
+		s.Warn(msg)
+		return
+	}
+	fmt.Fprintln(os.Stderr, msg)
+}
+
+// isStorageFull classifies write failures that mean "this storage cannot
+// take writes right now" rather than "this write was malformed".
+func isStorageFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EROFS) || errors.Is(err, io.ErrShortWrite)
 }

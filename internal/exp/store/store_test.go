@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"pracsim/internal/fault"
 )
 
 func open(t *testing.T) *Store {
@@ -441,5 +443,154 @@ func TestStatRejectsTruncatedEntry(t *testing.T) {
 	}
 	if info, err := d.Stat("k"); err == nil {
 		t.Errorf("Stat served a truncated entry: %+v", info)
+	}
+}
+
+// TestQuarantineCorruptEntry: an entry that fails validation on read is
+// renamed aside (*.quarantine) so the bad bytes cost one read, not one
+// per access, and the count is visible in Stats. A later Put publishes a
+// fresh entry at the original path.
+func TestQuarantineCorruptEntry(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", []byte("a payload long enough to corrupt meaningfully")); err != nil {
+		t.Fatal(err)
+	}
+	d := diskOf(t, s)
+	path := d.path("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at %s: %v", path, err)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Errorf("no quarantine file: %v", err)
+	}
+	if d.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d, want 1", d.Quarantined())
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("Stats().Quarantined = %d, want 1", st.Quarantined)
+	}
+
+	// The second access is a plain not-found miss: the bad entry is gone
+	// from the .run namespace, so it is not re-read or re-counted.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("quarantined entry served as a hit")
+	}
+	if d.Quarantined() != 1 {
+		t.Errorf("Quarantined() = %d after second Get, want still 1", d.Quarantined())
+	}
+
+	// List and the maintenance surface must not see the quarantined file.
+	if infos, err := d.List(); err != nil || len(infos) != 0 {
+		t.Errorf("List = %v, %v; want empty", infos, err)
+	}
+
+	// A recompute's Put restores the entry at the original path.
+	if err := s.Put("k", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "fresh" {
+		t.Errorf("entry not restored: %q, %v", got, ok)
+	}
+}
+
+// TestPutDegradesWhenStorageFull: a backend reporting itself full turns
+// the store write-off for the rest of the process — one warning line,
+// dropped writes counted, reads still served — instead of failing runs
+// over what is strictly a cache.
+func TestPutDegradesWhenStorageFull(t *testing.T) {
+	defer fault.Disable()
+	s := open(t)
+	if err := s.Put("warm", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+
+	var warnings []string
+	s.Warn = func(msg string) { warnings = append(warnings, msg) }
+
+	plan, err := fault.Parse("store.disk.put:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	if err := s.Put("k1", []byte("lost")); err != nil {
+		t.Fatalf("ENOSPC Put failed the caller: %v", err)
+	}
+	fault.Disable()
+
+	// The store is write-off now: even though the disk would accept this
+	// write, the front drops it (and counts it) rather than flapping.
+	if err := s.Put("k2", []byte("also dropped")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.WritesDropped != 2 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 2 dropped / 1 write", st)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "writes disabled") {
+		t.Errorf("warnings = %q, want exactly one store-off line", warnings)
+	}
+	if got, ok := s.Get("warm"); !ok || string(got) != "kept" {
+		t.Errorf("reads broken after write-off: %q, %v", got, ok)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Error("dropped write served as a hit")
+	}
+}
+
+// TestShortWriteDegradesToo: io.ErrShortWrite is in the storage-full
+// class — same degrade, not a failed run.
+func TestShortWriteDegradesToo(t *testing.T) {
+	defer fault.Disable()
+	s := open(t)
+	s.Warn = func(string) {}
+	plan, err := fault.Parse("store.disk.put:shortx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	if err := s.Put("k", []byte("x")); err != nil {
+		t.Fatalf("short-write Put failed the caller: %v", err)
+	}
+	if st := s.Stats(); st.WritesDropped != 1 {
+		t.Errorf("stats = %+v, want 1 dropped write", st)
+	}
+}
+
+// TestDiskGetFaultInjection: the store.disk.get failpoint's corrupt kind
+// mangles the read bytes, which the validation catches and quarantines —
+// the whole bitrot path, driven end-to-end by the fault layer.
+func TestDiskGetFaultInjection(t *testing.T) {
+	defer fault.Disable()
+	s := open(t)
+	if err := s.Put("k", []byte("payload to be bitrotted")); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.Parse("store.disk.get:corruptx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(plan)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("bitrotted read served as a hit")
+	}
+	fault.Disable()
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("stats = %+v, want the bitrotted entry quarantined", st)
+	}
+	// The on-disk entry was quarantined, so a fault-free Get misses.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("quarantined entry served")
 	}
 }

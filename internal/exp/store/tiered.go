@@ -34,6 +34,14 @@ func (t *Tiered) RemoteStats() RemoteStats {
 	return RemoteStats{}
 }
 
+// Quarantined reports the local tier's quarantined-entry count.
+func (t *Tiered) Quarantined() int64 {
+	if q, ok := t.local.(quarantiner); ok {
+		return q.Quarantined()
+	}
+	return 0
+}
+
 // Get serves the local tier first; a local miss falls through to the
 // remote, and a remote hit back-fills the local tier (best-effort) so
 // the next Get stays off the network. A remote failure is the remote's

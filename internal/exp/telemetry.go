@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"pracsim/internal/fault"
 	"pracsim/internal/sim"
 	"pracsim/internal/stats"
 )
@@ -53,6 +54,11 @@ func (s *Runner) TelemetryReport(top int) string {
 	out := ""
 	if s.r.store != nil {
 		out += s.r.store.Stats().Report(s.r.store.Spec()) + "\n"
+	}
+	// A fault schedule makes a session's numbers suspect by design; say
+	// so whenever one actually fired.
+	if p := fault.Active(); p != nil && fault.Fired() > 0 {
+		out += fmt.Sprintf("faults: %d injected by schedule %q\n", fault.Fired(), p.Spec)
 	}
 	entries := s.r.tlog.snapshot()
 	if len(entries) == 0 {

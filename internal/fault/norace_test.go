@@ -1,0 +1,5 @@
+//go:build !race
+
+package fault
+
+const raceEnabled = false

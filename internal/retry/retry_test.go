@@ -1,0 +1,170 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Hour} // backoff must never be taken
+	retries, err := p.Do(context.Background(), "op", func(ctx context.Context, attempt int) error {
+		if attempt != 1 {
+			t.Fatalf("attempt = %d", attempt)
+		}
+		return nil
+	})
+	if retries != 0 || err != nil {
+		t.Fatalf("retries=%d err=%v", retries, err)
+	}
+}
+
+func TestDoRetriesThenSucceeds(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Microsecond}
+	calls := 0
+	retries, err := p.Do(context.Background(), "op", func(ctx context.Context, attempt int) error {
+		calls++
+		if attempt < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("retries=%d calls=%d err=%v", retries, calls, err)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Microsecond}
+	boom := errors.New("boom")
+	calls := 0
+	retries, err := p.Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return boom
+	})
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d", calls, retries)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v does not wrap cause", err)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Hour}
+	notFound := errors.New("not found")
+	calls := 0
+	retries, err := p.Do(context.Background(), "op", func(context.Context, int) error {
+		calls++
+		return Permanent(notFound)
+	})
+	if calls != 1 || retries != 0 {
+		t.Fatalf("calls=%d retries=%d", calls, retries)
+	}
+	// Do unwraps the Permanent marker so errors.Is against the sentinel
+	// (e.g. store.ErrNotFound) works at the caller.
+	if !errors.Is(err, notFound) || IsPermanent(err) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPermanentWrapping(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+	base := errors.New("x")
+	p := Permanent(base)
+	if !IsPermanent(p) || !errors.Is(p, base) {
+		t.Fatalf("marking broken: %v", p)
+	}
+	if IsPermanent(base) {
+		t.Fatal("unmarked error reported permanent")
+	}
+}
+
+func TestDoHonorsCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Attempts: 10, Base: time.Hour} // would sleep forever without cancel
+	calls := 0
+	done := make(chan struct{})
+	var retries int
+	var err error
+	go func() {
+		retries, err = p.Do(ctx, "op", func(context.Context, int) error {
+			calls++
+			return errors.New("transient")
+		})
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+	if calls != 1 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("calls=%d retries=%d err=%v", calls, retries, err)
+	}
+}
+
+func TestDoPerTryDeadline(t *testing.T) {
+	p := Policy{Attempts: 2, Base: time.Microsecond, PerTry: 20 * time.Millisecond}
+	deadlines := 0
+	_, err := p.Do(context.Background(), "op", func(ctx context.Context, attempt int) error {
+		dl, ok := ctx.Deadline()
+		if !ok {
+			t.Fatal("attempt context has no deadline")
+		}
+		if until := time.Until(dl); until > 25*time.Millisecond {
+			t.Fatalf("deadline %v away, want ~20ms", until)
+		}
+		deadlines++
+		<-ctx.Done() // simulate an attempt that outlives its deadline
+		return ctx.Err()
+	})
+	if deadlines != 2 {
+		t.Fatalf("deadlines=%d", deadlines)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestDelayDeterministicCappedJittered(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Seed: 9}
+	if p.Delay("op", 0) != 0 {
+		t.Fatal("attempt 0 delayed")
+	}
+	if (Policy{}).Delay("op", 3) != 0 {
+		t.Fatal("zero Base delayed")
+	}
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := p.Delay("op", attempt)
+		if d != p.Delay("op", attempt) {
+			t.Fatalf("attempt %d non-deterministic", attempt)
+		}
+		// Nominal backoff for this attempt, capped.
+		nominal := p.Base << uint(attempt-1)
+		if nominal > p.Max || nominal <= 0 {
+			nominal = p.Max
+		}
+		if d < nominal/2 || d > nominal {
+			t.Fatalf("attempt %d delay %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+		}
+	}
+	if p.Delay("op-a", 1) == p.Delay("op-b", 1) && p.Delay("op-a", 2) == p.Delay("op-b", 2) {
+		t.Fatal("distinct ops jitter identically")
+	}
+}
+
+func TestDelayDefaultMax(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond}
+	// With no Max, cap is 8×Base.
+	for attempt := 1; attempt <= 30; attempt++ {
+		if d := p.Delay("op", attempt); d > 80*time.Millisecond {
+			t.Fatalf("attempt %d delay %v exceeds 8×Base", attempt, d)
+		}
+	}
+}

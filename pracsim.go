@@ -24,7 +24,9 @@ import (
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	storeserver "pracsim/internal/exp/store/server"
+	"pracsim/internal/fault"
 	"pracsim/internal/mitigation"
+	"pracsim/internal/retry"
 	"pracsim/internal/sim"
 	"pracsim/internal/ticks"
 )
@@ -181,6 +183,18 @@ type (
 	// WorkerSummary is the machine-readable trailer a shard worker
 	// prints; the driver folds it into the shard's report.
 	WorkerSummary = dispatch.Summary
+	// HTTPStoreOptions tunes the pracstored client's failure policy:
+	// per-attempt deadline, attempt budget, backoff base, breaker
+	// cooldown.
+	HTTPStoreOptions = store.HTTPOptions
+	// FaultPlan is a parsed deterministic fault schedule (chaos testing).
+	FaultPlan = fault.Plan
+	// FaultAction is one injected fault a failpoint returned.
+	FaultAction = fault.Action
+	// RetryPolicy is the pipeline's unified retry/backoff/deadline
+	// policy: capped exponential backoff with deterministic jitter and
+	// per-attempt context deadlines.
+	RetryPolicy = retry.Policy
 )
 
 var (
@@ -202,6 +216,22 @@ var (
 	// ResolveRunStore resolves a -store argument (dir, URL, auto, off)
 	// into an opened store — the CLIs' single entry point.
 	ResolveRunStore = store.ResolveBackend
+	// ResolveRunStoreWith is ResolveRunStore with an explicit remote
+	// failure policy (timeouts, retries, breaker cooldown).
+	ResolveRunStoreWith = store.ResolveBackendWith
+	// OpenHTTPStoreWith opens a pracstored client with an explicit
+	// failure policy.
+	OpenHTTPStoreWith = store.OpenHTTPWith
+	// ParseFaultSchedule parses a fault-schedule spec string
+	// ('seed=7;store.http.get:err@0.2;...') into a FaultPlan.
+	ParseFaultSchedule = fault.Parse
+	// EnableFaults activates a FaultPlan process-wide; EnableFaults(nil)
+	// via DisableFaults turns injection off.
+	EnableFaults = fault.Enable
+	// DisableFaults deactivates fault injection.
+	DisableFaults = fault.Disable
+	// RetryPermanent marks an error as not-retryable under a RetryPolicy.
+	RetryPermanent = retry.Permanent
 	// NewStoreServer builds the pracstored HTTP handler over a disk
 	// backend.
 	NewStoreServer = storeserver.New
