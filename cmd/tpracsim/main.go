@@ -30,25 +30,38 @@
 //
 //	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|rfmpb|all
 //	         [-scale quick|full] [-workers N] [-serial]
-//	         [-store DIR|URL|auto|off] [-shard i/n [-shardout FILE]]
+//	         [-store DIR|URL|auto|off] [-journal DIR|auto|off]
+//	         [-shard i/n [-shardout FILE]]
 //	         [-merge FILE,FILE,...] [-csvdir DIR]
 //	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]]
 //	tpracsim -store-info|-store-prune [-store DIR|URL|auto]
+//
+// -journal makes a session crash-safe: every completed run (and, under
+// -dispatch, every converged shard) is appended to a checksummed journal
+// as it finishes, and an interrupted invocation re-run with the same
+// arguments resumes from the journal — executing zero already-completed
+// simulations, with or without a store — instead of starting over.
+// SIGINT/SIGTERM drain and checkpoint (a second signal exits
+// immediately).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"pracsim/internal/exp"
 	"pracsim/internal/exp/dispatch"
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	"pracsim/internal/fault"
@@ -87,6 +100,7 @@ func main() {
 	dispatchN := flag.Int("dispatch", 0, "dispatch the grid to N shard workers and auto-merge their results (0 = off)")
 	dispatchCmd := flag.String("dispatch-cmd", "", "worker command template run via sh -c, with {args}/{shard}/{index}/{count}/{slot}/{out} placeholders (default: re-exec this binary)")
 	dispatchAttempts := flag.Int("dispatch-attempts", 3, "per-shard attempt budget for -dispatch")
+	journalMode := flag.String("journal", "off", "crash-recovery session journal: a directory, 'auto' (user cache dir, keyed by the session's arguments) or 'off'; an interrupted invocation re-run with the same arguments resumes instead of re-simulating")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
 
@@ -161,7 +175,54 @@ func main() {
 		}
 	}
 
-	session := exp.NewRunnerWith(scale, exp.SessionOptions{Store: st, Shard: sp})
+	if (*perCycle || *differential) && *journalMode != "off" {
+		// The validation clockings must execute every simulation; replayed
+		// journal results would silently validate nothing (same reason the
+		// store is bypassed in these modes).
+		fmt.Fprintln(os.Stderr, "tpracsim: -journal is ignored with -percycle/-differential (validation modes must execute)")
+		*journalMode = "off"
+	}
+	// The fingerprint is what makes resume safe: only an invocation
+	// asking for the same work (schema, experiments, scale budgets,
+	// workload set, shard slice) adopts this journal. Scheduling knobs
+	// (-workers, -serial) and the store never change results, so they are
+	// deliberately absent.
+	jl, _ := resolveJournal(*journalMode, journal.Fingerprint(
+		fmt.Sprintf("schema=%d", sim.SchemaVersion),
+		"exp="+*which,
+		"scale="+*scaleName,
+		fmt.Sprintf("warmup=%d", scale.Warmup),
+		fmt.Sprintf("measured=%d", scale.Measured),
+		"workloads="+strings.Join(scale.Workloads, ","),
+		"shard="+sp.String(),
+	))
+
+	// First signal: drain and checkpoint — a running dispatch fleet is
+	// cancelled (group-killing its workers) and the journal synced, so a
+	// re-invocation resumes. Second signal: exit immediately.
+	dispatchCtx, cancelDispatch := context.WithCancel(context.Background())
+	defer cancelDispatch()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	dispatching := *dispatchN > 0
+	go func() {
+		<-sigs
+		if dispatching {
+			fmt.Fprintln(os.Stderr, "tpracsim: signal received — draining fleet and checkpointing (repeat to exit immediately)")
+			cancelDispatch()
+			<-sigs
+			os.Exit(130)
+		}
+		if jl != nil {
+			jl.Sync()
+			fmt.Fprintf(os.Stderr, "tpracsim: signal received — journal checkpointed at %s; re-run with the same arguments to resume\n", jl.Path())
+		} else {
+			fmt.Fprintln(os.Stderr, "tpracsim: signal received")
+		}
+		os.Exit(130)
+	}()
+
+	session := exp.NewRunnerWith(scale, exp.SessionOptions{Store: st, Shard: sp, Journal: jl})
 	if *mergeArg != "" {
 		// Tolerate list debris (trailing or doubled commas, stray
 		// spaces) — but an all-debris list is a mistake worth naming,
@@ -206,8 +267,17 @@ func main() {
 	}
 
 	if *dispatchN > 0 {
-		if err := runDispatch(session, st, *dispatchN, *dispatchCmd, *dispatchAttempts,
+		if err := runDispatch(dispatchCtx, session, st, jl, *dispatchN, *dispatchCmd, *dispatchAttempts,
 			*which, *scaleName, *workers, *serial); err != nil {
+			if errors.Is(err, dispatch.ErrInterrupted) {
+				if jl != nil {
+					jl.Close()
+					fmt.Fprintf(os.Stderr, "tpracsim: %v — re-run with the same arguments to resume\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "tpracsim: %v (no -journal: converged shards will re-run)\n", err)
+				}
+				os.Exit(130)
+			}
 			fatalf("%v", err)
 		}
 	}
@@ -221,6 +291,9 @@ func main() {
 		}
 		fmt.Printf("(%d new simulations; session cache holds %d)\n",
 			session.Executed()-before, session.CachedRuns())
+		if jl != nil {
+			_ = jl.AppendDone(name)
+		}
 		if sp.Count > 0 {
 			// A sharded session computes only its slice of the grid;
 			// its figures are partial by design and are rendered by the
@@ -253,12 +326,57 @@ func main() {
 			WallMS:   time.Since(start).Milliseconds(),
 			Store:    sum.Store,
 			Faults:   fault.Fired(),
+			Journal:  sum.Journal,
 		}.Line())
 	}
 	// Execution telemetry: store traffic, aggregate simulation rate,
 	// elision wins and the straggler simulations that dominated the
 	// sweep's wall-clock.
 	fmt.Println(session.TelemetryReport(5))
+	if jl != nil {
+		if err := jl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: closing journal: %v\n", err)
+		}
+	}
+}
+
+// resolveJournal opens the session journal for -journal: "off" (nil),
+// "auto" (a per-fingerprint directory under the user cache dir) or an
+// explicit directory. Failures degrade to running without a journal —
+// durability is never worth failing a run that can simply execute.
+func resolveJournal(mode, fingerprint string) (*journal.Journal, *journal.Recovery) {
+	if mode == "" || mode == "off" {
+		return nil, nil
+	}
+	dir := mode
+	if mode == "auto" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpracsim: -journal auto: %v; running without a journal\n", err)
+			return nil, nil
+		}
+		dir = filepath.Join(base, "tpracsim", "journal", fingerprint)
+	}
+	jl, rec, err := journal.Open(filepath.Join(dir, "session.journal"), journal.Options{
+		Schema:      sim.SchemaVersion,
+		Fingerprint: fingerprint,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpracsim: opening journal: %v; running without a journal\n", err)
+		return nil, nil
+	}
+	if rec.Rotated != "" {
+		fmt.Fprintf(os.Stderr, "tpracsim: journal: prior journal rotated aside: %s\n", rec.Rotated)
+	}
+	if !rec.Fresh {
+		msg := fmt.Sprintf("journal: resuming — %d record(s) replayed (%d run(s), %d shard(s))",
+			rec.Records, rec.Runs, len(rec.Shards))
+		if rec.TruncatedBytes > 0 {
+			msg += fmt.Sprintf(", %d torn-tail byte(s) truncated", rec.TruncatedBytes)
+		}
+		fmt.Println(msg)
+	}
+	return jl, rec
 }
 
 // runDispatch fans the selected experiments out to shard workers,
@@ -266,7 +384,8 @@ func main() {
 // the session, which then assembles figures from fully-warm caches.
 // Errors return (rather than exiting) so the deferred work-directory
 // cleanup runs on failure paths too.
-func runDispatch(session *exp.Runner, st *store.Store, n int, template string, attempts int,
+func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *journal.Journal,
+	n int, template string, attempts int,
 	which, scaleName string, workers int, serial bool) error {
 	// Workers re-run this binary's own configuration, minus the
 	// rendering flags: each executes its shard of the same grid against
@@ -297,32 +416,49 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 	if err != nil {
 		return fmt.Errorf("resolving own binary for dispatch: %w", err)
 	}
-	workDir, err := os.MkdirTemp("", "tpracsim-dispatch-")
-	if err != nil {
-		return err
+	// With a journal, the work directory is stable (next to the journal
+	// file) and survives this process: a restarted driver must find the
+	// converged shard files the journal points at. Without one, a
+	// throwaway temp directory as before.
+	var workDir, workerJournalDir string
+	if jl != nil {
+		base := filepath.Dir(jl.Path())
+		workDir = filepath.Join(base, "dispatch")
+		if err := os.MkdirAll(workDir, 0o755); err != nil {
+			return err
+		}
+		workerJournalDir = filepath.Join(base, "workers")
+	} else {
+		if workDir, err = os.MkdirTemp("", "tpracsim-dispatch-"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(workDir)
 	}
-	defer os.RemoveAll(workDir)
 
 	res, err := dispatch.Run(dispatch.Options{
-		Shards:          n,
-		Workers:         n,
-		Argv:            append([]string{exe}, args...),
-		Template:        template,
-		Attempts:        attempts,
-		Dir:             workDir,
-		Schema:          sim.SchemaVersion,
-		Log:             os.Stdout,
-		StragglerFactor: 3,
-		StragglerMin:    30 * time.Second,
+		Shards:           n,
+		Workers:          n,
+		Argv:             append([]string{exe}, args...),
+		Template:         template,
+		Attempts:         attempts,
+		Dir:              workDir,
+		Schema:           sim.SchemaVersion,
+		Log:              os.Stdout,
+		StragglerFactor:  3,
+		StragglerMin:     30 * time.Second,
+		Journal:          jl,
+		Context:          ctx,
+		WorkerJournalDir: workerJournalDir,
 	})
 	if err != nil {
 		return err
 	}
 
-	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "backoff-ms", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-retries", "faults"}}
+	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "backoff-ms", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-retries", "faults", "j-resume", "j-append"}}
 	var totalBackoff time.Duration
 	for _, r := range res.Reports {
 		executed, hits, misses, rhits, rretries, faults := "?", "?", "?", "?", "?", "?"
+		jresume, jappend := "?", "?"
 		if r.HasSummary {
 			executed = strconv.FormatInt(r.Summary.Executed, 10)
 			hits = strconv.FormatInt(r.Summary.Store.Hits, 10)
@@ -330,12 +466,20 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 			rhits = strconv.FormatInt(r.Summary.Store.Remote.Hits, 10)
 			rretries = strconv.FormatInt(r.Summary.Store.Remote.Retries, 10)
 			faults = strconv.FormatInt(r.Summary.Faults, 10)
+			jresume = strconv.FormatInt(r.Summary.Journal.ResumeHits, 10)
+			jappend = strconv.FormatInt(r.Summary.Journal.Appended, 10)
+		}
+		slot := strconv.Itoa(r.Slot)
+		if r.Adopted {
+			// No worker ran this invocation: the shard came straight from
+			// the driver journal's recovered state.
+			slot, executed = "adopted", "0"
 		}
 		totalBackoff += r.Backoff
-		t.Add(r.Shard.String(), r.Slot, r.Attempts, r.Backoff.Milliseconds(), r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rretries, faults)
+		t.Add(r.Shard.String(), slot, r.Attempts, r.Backoff.Milliseconds(), r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rretries, faults, jresume, jappend)
 	}
-	fmt.Printf("dispatch: %d shard(s) converged in %.1fs, %d retried attempt(s), %dms total backoff\n%s",
-		len(res.Reports), res.Wall.Seconds(), res.Retries(), totalBackoff.Milliseconds(), t.String())
+	fmt.Printf("dispatch: %d shard(s) converged in %.1fs (%d adopted from journal), %d retried attempt(s), %dms total backoff\n%s",
+		len(res.Reports), res.Wall.Seconds(), res.Adopted(), res.Retries(), totalBackoff.Milliseconds(), t.String())
 
 	// The shard files just validated, but the merge re-reads them; a
 	// transient read failure (NFS hiccup, an injected shard.read fault)
@@ -343,6 +487,9 @@ func runDispatch(session *exp.Runner, st *store.Store, n int, template string, a
 	var imported int
 	if _, err := importWithRetry(session, res.Files, &imported); err != nil {
 		return fmt.Errorf("merging dispatched shards: %w", err)
+	}
+	if jl != nil {
+		_ = jl.AppendMerge(res.Files, imported)
 	}
 	fmt.Printf("merged %d runs from %d dispatched shard(s)\n", imported, len(res.Files))
 	return nil

@@ -21,6 +21,7 @@ package dispatch
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/fault"
 	"pracsim/internal/retry"
@@ -93,6 +95,22 @@ type Options struct {
 	RetryBase time.Duration
 	// RetryMax caps a single re-dispatch wait. 0 means 8×RetryBase.
 	RetryMax time.Duration
+	// Journal, when non-nil, makes the fleet crash-safe: the driver
+	// records its fleet plan and every shard convergence, and on a
+	// restarted invocation with the same plan it adopts recovered shard
+	// files that still validate instead of re-spawning their workers.
+	Journal *journal.Journal
+	// Context, when non-nil, cancels the fleet: on Done the driver
+	// group-kills every running worker, checkpoints the journal, and
+	// returns ErrInterrupted — the graceful drain half of signal
+	// handling (the caller owns the second-signal hard exit).
+	Context context.Context
+	// WorkerJournalDir, when non-empty, gives each shard worker its own
+	// journal: the driver appends `-journal DIR/shard-i` to the worker
+	// command, so a retried attempt resumes the runs its predecessor
+	// completed. Backup (speculative) attempts get a separate directory
+	// — two live workers must never share a journal file.
+	WorkerJournalDir string
 }
 
 // ShardReport summarizes one converged shard.
@@ -109,7 +127,16 @@ type ShardReport struct {
 	// fake workers in tests and non-tpracsim fleets need not emit it.
 	Summary    Summary
 	HasSummary bool
+	// Adopted marks a shard served from the driver journal's recovered
+	// state: its file was validated and merged without spawning any
+	// worker this invocation (Attempts is 0, Wall is 0).
+	Adopted bool
 }
+
+// ErrInterrupted reports a dispatch cancelled through Options.Context.
+// Converged shards are checkpointed in the journal (when one is
+// attached); a re-invocation with the same plan adopts them.
+var ErrInterrupted = errors.New("dispatch: interrupted")
 
 // Result is a successful dispatch: every shard converged.
 type Result struct {
@@ -129,7 +156,22 @@ type Result struct {
 func (r *Result) Retries() int {
 	n := 0
 	for _, rep := range r.Reports {
-		n += rep.Attempts - 1
+		// Adopted shards launched nothing (Attempts == 0).
+		if rep.Attempts > 0 {
+			n += rep.Attempts - 1
+		}
+	}
+	return n
+}
+
+// Adopted reports how many shards were served from the driver journal's
+// recovered state without spawning a worker.
+func (r *Result) Adopted() int {
+	n := 0
+	for _, rep := range r.Reports {
+		if rep.Adopted {
+			n++
+		}
 	}
 	return n
 }
@@ -246,7 +288,11 @@ func Run(opts Options) (*Result, error) {
 		createdDir = true
 	}
 
-	ctx, cancelAll := context.WithCancel(context.Background())
+	parent := opts.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancelAll := context.WithCancel(parent)
 	defer cancelAll()
 	d := &dispatcher{
 		opts: opts,
@@ -259,12 +305,49 @@ func Run(opts Options) (*Result, error) {
 		log:    opts.Log,
 	}
 
+	// With a journal attached, recover: under an unchanged fleet plan,
+	// shards the interrupted driver already converged are adopted from
+	// their recorded files (re-validated — a deleted or torn file just
+	// re-dispatches) instead of re-spawning workers.
+	adoptable := map[int]journal.ShardRecord{}
+	if opts.Journal != nil {
+		fp := planFingerprint(opts)
+		if opts.Journal.RecoveredPlan() == fp {
+			for i := 0; i < opts.Shards; i++ {
+				sp := shard.Spec{Index: i, Count: opts.Shards}
+				if sr, ok := opts.Journal.RecoveredShard(sp.String()); ok {
+					adoptable[i] = sr
+				}
+			}
+		} else {
+			// A new (or first) plan: journal it, superseding any shard
+			// records a different plan left behind.
+			_ = opts.Journal.AppendPlan(fp)
+		}
+	}
+
 	states := make([]*shardState, opts.Shards)
 	pending := make([]pendingShard, 0, opts.Shards)
+	completed := 0
 	for i := range states {
 		states[i] = &shardState{
 			sp:       shard.Spec{Index: i, Count: opts.Shards},
 			excluded: make(map[int]bool),
+		}
+		if sr, ok := adoptable[i]; ok {
+			if runs, verr := validateFile(sr.File, opts.Schema); verr == nil {
+				states[i].done = true
+				states[i].report = ShardReport{
+					Shard:   states[i].sp,
+					File:    sr.File,
+					Runs:    runs,
+					Adopted: true,
+				}
+				completed++
+				d.logf("dispatch: shard %s adopted from journal (%d runs, %s)", states[i].sp, runs, sr.File)
+				continue
+			}
+			d.logf("dispatch: shard %s journaled but its file no longer validates — re-dispatching", states[i].sp)
 		}
 		pending = append(pending, pendingShard{index: i})
 	}
@@ -286,7 +369,6 @@ func Run(opts Options) (*Result, error) {
 
 	start := time.Now()
 	d.logf("dispatch: %d shards across %d worker slot(s), %d attempt(s) per shard", opts.Shards, workers, opts.Attempts)
-	completed := 0
 	var converged []time.Duration
 	for completed < opts.Shards {
 		// Launch every pending shard whose backoff has elapsed onto an
@@ -319,6 +401,20 @@ func Run(opts Options) (*Result, error) {
 		}
 
 		select {
+		case <-d.ctx.Done():
+			// Drain-and-checkpoint: group-kill every running worker (their
+			// own journals keep their completed runs), sync this driver's
+			// journal, and report how far the fleet got. A re-invocation
+			// with the same plan adopts every converged shard.
+			if backoffTimer != nil {
+				backoffTimer.Stop()
+			}
+			cancelAll()
+			sweepAttempts(states)
+			if opts.Journal != nil {
+				_ = opts.Journal.Sync()
+			}
+			return nil, fmt.Errorf("%w: %d/%d shard(s) converged and checkpointed", ErrInterrupted, completed, opts.Shards)
 		case ev := <-d.events:
 			if backoffTimer != nil {
 				backoffTimer.Stop()
@@ -402,6 +498,16 @@ func (d *dispatcher) launch(st *shardState, slot int) {
 	a.start = time.Now()
 
 	workerArgv := append(append([]string{}, d.opts.Argv...), "-shard", st.sp.String(), "-shardout", a.out)
+	if d.opts.WorkerJournalDir != "" {
+		jdir := filepath.Join(d.opts.WorkerJournalDir, fmt.Sprintf("shard-%d", st.sp.Index))
+		if len(st.running) > 0 {
+			// A backup runs concurrently with the original attempt, and
+			// two live workers must never share a journal file — the
+			// backup gets a throwaway journal of its own.
+			jdir = filepath.Join(d.opts.WorkerJournalDir, fmt.Sprintf("shard-%d.backup%d", st.sp.Index, st.attempts))
+		}
+		workerArgv = append(workerArgv, "-journal", jdir)
+	}
 	var cmd *exec.Cmd
 	if d.opts.Template != "" {
 		cmd = exec.CommandContext(actx, "sh", "-c", expandTemplate(d.opts.Template, workerArgv, st.sp, slot, a.out))
@@ -444,6 +550,12 @@ func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
 		// just as valid, so fall back to it rather than failing a
 		// converged shard.
 		final = a.out
+	}
+	// Checkpoint the convergence durably before reporting it: this
+	// record (synced by AppendShard) is exactly what a restarted driver
+	// adopts instead of re-running the shard.
+	if d.opts.Journal != nil {
+		_ = d.opts.Journal.AppendShard(journal.ShardRecord{Shard: st.sp.String(), File: final, Runs: runs})
 	}
 	wall := time.Since(a.start)
 	sum, ok := a.workerSummary()
@@ -526,6 +638,11 @@ func (d *dispatcher) runAttempt(cmd *exec.Cmd, a *attempt) error {
 	// child (or a kill that orphans one) must not wedge the whole
 	// dispatch behind an inherited file descriptor.
 	cmd.WaitDelay = 5 * time.Second
+	// Each worker runs in its own process group, and cancellation kills
+	// the group, not just the immediate child — a `sh -c` template
+	// worker's grandchildren must never outlive the fleet.
+	setProcGroup(cmd)
+	cmd.Cancel = func() error { return killGroup(cmd) }
 	// The dispatch.worker failpoint delays or kills this worker from the
 	// outside — the machine-reboot / OOM-kill case the retry budget and
 	// atomic shard writes exist for.
@@ -546,7 +663,7 @@ func (d *dispatcher) runAttempt(cmd *exec.Cmd, a *attempt) error {
 		if after <= 0 {
 			after = time.Second
 		}
-		t := time.AfterFunc(after, func() { cmd.Process.Kill() })
+		t := time.AfterFunc(after, func() { killGroup(cmd) })
 		defer t.Stop()
 	}
 	err := cmd.Wait()
@@ -558,6 +675,21 @@ func (d *dispatcher) runAttempt(cmd *exec.Cmd, a *attempt) error {
 // stderrTailLines bounds how much worker stderr a budget-exhaustion
 // error carries.
 const stderrTailLines = 40
+
+// planFingerprint condenses everything that defines the fleet's work —
+// shard count, schema version and the full worker command — so a
+// restarted driver only adopts shard state recorded under an identical
+// plan. Any argv change re-dispatches everything: conservative, never
+// wrong.
+func planFingerprint(opts Options) string {
+	parts := []string{
+		"shards=" + strconv.Itoa(opts.Shards),
+		"schema=" + strconv.Itoa(opts.Schema),
+		"tmpl=" + opts.Template,
+	}
+	parts = append(parts, opts.Argv...)
+	return journal.Fingerprint(parts...)
+}
 
 // validateFile checks that a worker's output is a complete,
 // schema-matching shard file and reports how many runs it holds. An

@@ -2,6 +2,8 @@ package dispatch
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	"pracsim/internal/fault"
@@ -421,5 +424,201 @@ func TestRunOptionValidation(t *testing.T) {
 	}
 	if _, err := Run(Options{Shards: 2}); err == nil {
 		t.Error("no worker command accepted")
+	}
+}
+
+// TestJournalAdoption: a fleet that converged with a journal attached is
+// not re-run — a second dispatch with the same plan and journal adopts
+// every shard from its checkpointed state without spawning a worker.
+func TestJournalAdoption(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 3)
+	tmpl := fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre)
+	workDir := t.TempDir() // shared: shard files must survive into run 2
+	jpath := filepath.Join(t.TempDir(), "s.journal")
+	jopts := journal.Options{Schema: testSchema, Fingerprint: journal.Fingerprint("adoption-test")}
+
+	run := func(jl *journal.Journal, log *bytes.Buffer) (*Result, error) {
+		return Run(Options{
+			Shards:   3,
+			Template: tmpl,
+			Dir:      workDir,
+			Schema:   testSchema,
+			Log:      log,
+			Journal:  jl,
+		})
+	}
+
+	jl1, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log1 bytes.Buffer
+	res1, err := run(jl1, &log1)
+	if err != nil {
+		t.Fatalf("run 1: %v\nlog:\n%s", err, log1.String())
+	}
+	if res1.Adopted() != 0 {
+		t.Errorf("first run adopted %d shards from an empty journal", res1.Adopted())
+	}
+	jl1.Close()
+
+	jl2, rec, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if len(rec.Shards) != 3 {
+		t.Fatalf("journal recovered %d shard records, want 3 (%+v)", len(rec.Shards), rec)
+	}
+	var log2 bytes.Buffer
+	res2, err := run(jl2, &log2)
+	if err != nil {
+		t.Fatalf("run 2: %v\nlog:\n%s", err, log2.String())
+	}
+	if res2.Adopted() != 3 {
+		t.Errorf("Adopted() = %d, want 3\nlog:\n%s", res2.Adopted(), log2.String())
+	}
+	for i, rep := range res2.Reports {
+		if !rep.Adopted || rep.Attempts != 0 {
+			t.Errorf("report %d not adopted: %+v", i, rep)
+		}
+	}
+	if res2.Retries() != 0 {
+		t.Errorf("adopted fleet reported %d retries", res2.Retries())
+	}
+	if !strings.Contains(log2.String(), "adopted from journal") {
+		t.Errorf("adoption not visible in progress log:\n%s", log2.String())
+	}
+	// The adopted files are the run-1 files, still merge-valid.
+	for i, f := range res2.Files {
+		if f != res1.Files[i] {
+			t.Errorf("adopted file %d = %s, run 1 produced %s", i, f, res1.Files[i])
+		}
+		if _, err := shard.ReadFile(f, testSchema); err != nil {
+			t.Errorf("adopted file %d invalid: %v", i, err)
+		}
+	}
+}
+
+// TestJournalAdoptionRevalidates: a journaled shard whose file was lost
+// or torn since the checkpoint is re-dispatched, not trusted.
+func TestJournalAdoptionRevalidates(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 2)
+	tmpl := fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre)
+	workDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "s.journal")
+	jopts := journal.Options{Schema: testSchema, Fingerprint: journal.Fingerprint("revalidate-test")}
+
+	jl1, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := Run(Options{
+		Shards: 2, Template: tmpl, Dir: workDir, Schema: testSchema, Journal: jl1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl1.Close()
+	// Tear shard 0's file behind the journal's back.
+	if err := os.WriteFile(res1.Files[0], []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	var log bytes.Buffer
+	res2, err := Run(Options{
+		Shards: 2, Template: tmpl, Dir: workDir, Schema: testSchema, Journal: jl2, Log: &log,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if res2.Adopted() != 1 {
+		t.Errorf("Adopted() = %d, want 1 (shard 1 only)\nlog:\n%s", res2.Adopted(), log.String())
+	}
+	if res2.Reports[0].Adopted || res2.Reports[0].Attempts == 0 {
+		t.Errorf("shard with a torn file was adopted: %+v", res2.Reports[0])
+	}
+	if !res2.Reports[1].Adopted {
+		t.Errorf("shard with a valid file was re-run: %+v", res2.Reports[1])
+	}
+	if !strings.Contains(log.String(), "no longer validates") {
+		t.Errorf("re-dispatch reason not logged:\n%s", log.String())
+	}
+	if _, err := shard.ReadFile(res2.Files[0], testSchema); err != nil {
+		t.Errorf("re-dispatched shard file invalid: %v", err)
+	}
+}
+
+// TestPlanMismatchIgnoresJournal: shard records from a different plan
+// (different shard count) are never adopted.
+func TestPlanMismatchIgnoresJournal(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 2)
+	workDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "s.journal")
+	jopts := journal.Options{Schema: testSchema, Fingerprint: journal.Fingerprint("plan-test")}
+
+	jl1, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{
+		Shards: 2, Template: fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre),
+		Dir: workDir, Schema: testSchema, Journal: jl1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jl1.Close()
+
+	pre3 := t.TempDir()
+	writeFakeShardFiles(t, pre3, 3)
+	jl2, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	res, err := Run(Options{
+		Shards: 3, Template: fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre3),
+		Dir: workDir, Schema: testSchema, Journal: jl2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adopted() != 0 {
+		t.Errorf("shard records from a 2-shard plan adopted into a 3-shard fleet (%d adopted)", res.Adopted())
+	}
+}
+
+// TestInterruptCheckpoints: cancelling Options.Context mid-fleet drains
+// the workers and returns ErrInterrupted instead of hanging or
+// reporting success.
+func TestInterruptCheckpoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	var log bytes.Buffer
+	start := time.Now()
+	_, err := Run(Options{
+		Shards:   2,
+		Template: "sleep 300",
+		Dir:      t.TempDir(),
+		Schema:   testSchema,
+		Log:      &log,
+		Context:  ctx,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted\nlog:\n%s", err, log.String())
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Errorf("drain waited out the workers (%.1fs)", took.Seconds())
 	}
 }

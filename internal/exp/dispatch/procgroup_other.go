@@ -1,0 +1,17 @@
+//go:build !unix
+
+package dispatch
+
+import "os/exec"
+
+// setProcGroup is a no-op where process groups are unavailable.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killGroup kills the immediate worker process; grandchild cleanup is
+// best-effort without process groups.
+func killGroup(cmd *exec.Cmd) error {
+	if cmd.Process == nil {
+		return nil
+	}
+	return cmd.Process.Kill()
+}

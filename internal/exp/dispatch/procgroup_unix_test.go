@@ -1,0 +1,80 @@
+//go:build unix
+
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGroupKillReapsGrandchildren: cancelling a worker must take its
+// whole process group with it — a grandchild (here a background sleep
+// under the worker's sh) must not survive as an orphan holding slots,
+// files or store connections.
+func TestGroupKillReapsGrandchildren(t *testing.T) {
+	pidDir := t.TempDir()
+	pidFile := filepath.Join(pidDir, "grandchild.pid")
+	// The worker spawns a long-lived grandchild, records its pid (via
+	// rename, so the file never exists empty), then hangs — only a group
+	// kill reaches the sleep.
+	tmpl := fmt.Sprintf("sleep 300 & echo $! > %s.tmp && mv %s.tmp %s; wait", pidFile, pidFile, pidFile)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// Cancel once the grandchild exists, so the test races nothing.
+		for i := 0; i < 200; i++ {
+			if _, err := os.Stat(pidFile); err == nil {
+				cancel()
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		cancel()
+	}()
+
+	var log bytes.Buffer
+	_, err := Run(Options{
+		Shards:   1,
+		Template: tmpl,
+		Dir:      t.TempDir(),
+		Schema:   testSchema,
+		Log:      &log,
+		Context:  ctx,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted\nlog:\n%s", err, log.String())
+	}
+
+	raw, rerr := os.ReadFile(pidFile)
+	if rerr != nil {
+		t.Fatalf("grandchild pid never recorded: %v", rerr)
+	}
+	pid, perr := strconv.Atoi(strings.TrimSpace(string(raw)))
+	if perr != nil || pid <= 0 {
+		t.Fatalf("bad grandchild pid %q: %v", raw, perr)
+	}
+	// The group kill is issued before Run returns; give the kernel a
+	// moment to reap, then the pid must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kerr := syscall.Kill(pid, 0)
+		if errors.Is(kerr, syscall.ESRCH) {
+			return
+		}
+		if time.Now().After(deadline) {
+			syscall.Kill(pid, syscall.SIGKILL) // don't leak it past the test
+			t.Fatalf("grandchild %d survived the group kill (kill(0) = %v)", pid, kerr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

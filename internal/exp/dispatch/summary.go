@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/store"
 )
 
@@ -24,6 +25,9 @@ type Summary struct {
 	// Faults counts failpoints the worker's -faults schedule injected in
 	// its process (fault.Fired); zero without a schedule.
 	Faults int64 `json:"faults,omitempty"`
+	// Journal is the worker's session-journal traffic (appends, replays,
+	// resume hits); zero without a journal.
+	Journal journal.Stats `json:"journal,omitzero"`
 }
 
 // Line renders the trailer as the single stdout line workers print.

@@ -1,0 +1,190 @@
+//go:build unix
+
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"pracsim/internal/exp/dispatch"
+	"pracsim/internal/exp/journal"
+	"pracsim/internal/sim"
+)
+
+// killDriverMidFleet spawns this test binary as a real dispatch driver
+// (see TestMain), waits until the journal shows at least one converged
+// shard, then SIGKILLs the driver's whole process group — no drain, no
+// checkpoint call, exactly the crash the journal exists for. It returns
+// the driver's combined output for debugging.
+func killDriverMidFleet(t *testing.T, jpath, workDir, tmpl string) string {
+	t.Helper()
+	return killDriverAfterShards(t, jpath, workDir, tmpl, 1)
+}
+
+// killDriverAfterShards is killDriverMidFleet generalized: the kill
+// lands once the journal holds at least shards convergence records.
+func killDriverAfterShards(t *testing.T, jpath, workDir, tmpl string, shards int) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"PRACSIM_EXP_FAKE_DRIVER=1",
+		"PRACSIM_EXP_DRIVER_JOURNAL="+jpath,
+		"PRACSIM_EXP_DRIVER_DIR="+workDir,
+		"PRACSIM_EXP_DRIVER_TEMPLATE="+tmpl,
+	)
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		raw, _ := os.ReadFile(jpath)
+		if bytes.Count(raw, []byte(`"t":"shard"`)) >= shards {
+			break
+		}
+		if time.Now().After(deadline) {
+			syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+			cmd.Wait()
+			t.Fatalf("driver never checkpointed %d shard(s)\ndriver output:\n%s", shards, out.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("killing driver group: %v", err)
+	}
+	cmd.Wait()
+	return out.String()
+}
+
+// resumeKilledDriver re-runs the killed driver's dispatch in-process
+// over the reopened journal and pins the resume contract: converged
+// shards adopted, the fleet completes, and the merged figures are
+// byte-identical to an undispatched serial reference with zero
+// re-executed simulations.
+func resumeKilledDriver(t *testing.T, jpath, workDir, tmpl, driverOut string) {
+	t.Helper()
+	jl, rec, err := journal.Open(jpath, driverJournalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	if len(rec.Shards) == 0 {
+		t.Fatalf("journal recovered no shard records after the kill: %+v\ndriver output:\n%s", rec, driverOut)
+	}
+	var log bytes.Buffer
+	res, err := dispatch.Run(dispatch.Options{
+		Shards:   3,
+		Template: tmpl,
+		Dir:      workDir,
+		Schema:   sim.SchemaVersion,
+		Journal:  jl,
+		Log:      &log,
+	})
+	if err != nil {
+		t.Fatalf("resumed dispatch: %v\nlog:\n%s\ndriver output:\n%s", err, log.String(), driverOut)
+	}
+	if res.Adopted() == 0 {
+		t.Errorf("resumed dispatch re-ran every shard\nlog:\n%s", log.String())
+	}
+
+	serial := storeScale()
+	serial.Serial = true
+	reference := NewRunner(serial)
+	want, err := reference.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := NewRunner(storeScale())
+	if _, err := merge.ImportShards(res.Files...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := merge.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := merge.Executed(); n != 0 {
+		t.Errorf("resumed fleet re-executed %d simulations, want 0", n)
+	}
+	if got.Render() != want.Render() || got.CSV() != want.CSV() {
+		t.Error("resumed fleet result not byte-identical to the serial reference")
+	}
+}
+
+// TestDriverSIGKILLResumeBitIdentical is the acceptance e2e: a real
+// driver process is SIGKILLed mid-fleet and a re-invocation with the
+// same arguments completes the fleet from the journal — zero
+// re-executed runs, byte-identical CSVs versus a serial session.
+func TestDriverSIGKILLResumeBitIdentical(t *testing.T) {
+	pre := t.TempDir()
+	exportShardFiles(t, pre, 3)
+	workDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "session.journal")
+	mark := filepath.Join(t.TempDir(), "resume-mark")
+	// Before the mark exists only shard 0 converges, so the kill lands
+	// with the fleet reliably half-done; the resumed run is fast.
+	tmpl := fmt.Sprintf("if [ {index} != 0 ] && [ ! -e %s ]; then sleep 300; fi; cp %s/pre-{index}.runs {out}", mark, pre)
+
+	out := killDriverMidFleet(t, jpath, workDir, tmpl)
+	if err := os.WriteFile(mark, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumeKilledDriver(t, jpath, workDir, tmpl, out)
+}
+
+// TestDriverSIGKILLTornJournalResume repeats the kill/resume e2e with
+// the journal itself torn at the kill point — the partial frame a
+// SIGKILL lands mid-append. Recovery truncates the tear and the resumed
+// fleet still converges bit-identically: a torn journal can only cost
+// re-execution, never correctness.
+func TestDriverSIGKILLTornJournalResume(t *testing.T) {
+	pre := t.TempDir()
+	exportShardFiles(t, pre, 3)
+	workDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "session.journal")
+	mark := filepath.Join(t.TempDir(), "resume-mark")
+	tmpl := fmt.Sprintf("if [ {index} != 0 ] && [ ! -e %s ]; then sleep 300; fi; cp %s/pre-{index}.runs {out}", mark, pre)
+
+	out := killDriverMidFleet(t, jpath, workDir, tmpl)
+	// The frame the driver was mid-way through when the kill landed.
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{120, 0, 0, 0, '{', '"', 't', '"', ':'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := os.WriteFile(mark, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumeKilledDriver(t, jpath, workDir, tmpl, out)
+}
+
+// TestDriverKillStormResumesBitIdentical is the storm version: the
+// driver is SIGKILLed twice at successive stages of the fleet, each
+// restart adopting strictly more journaled shards, and the final resume
+// still converges bit-identically — repeated crashes compose.
+func TestDriverKillStormResumesBitIdentical(t *testing.T) {
+	pre := t.TempDir()
+	exportShardFiles(t, pre, 3)
+	workDir := t.TempDir()
+	jpath := filepath.Join(t.TempDir(), "session.journal")
+	// Staggered convergence: shard i takes ~i seconds, so "kill after k
+	// shard records" reliably lands mid-fleet.
+	tmpl := fmt.Sprintf("sleep {index}; cp %s/pre-{index}.runs {out}", pre)
+
+	var out string
+	for kill := 1; kill <= 2; kill++ {
+		out += killDriverAfterShards(t, jpath, workDir, tmpl, kill)
+	}
+	resumeKilledDriver(t, jpath, workDir, tmpl, out)
+}

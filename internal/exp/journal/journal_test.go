@@ -1,0 +1,466 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pracsim/internal/fault"
+)
+
+func testOpts() Options {
+	return Options{Schema: 3, Fingerprint: Fingerprint("test-session")}
+}
+
+func open(t *testing.T, path string, opts Options) (*Journal, *Recovery) {
+	t.Helper()
+	j, rec, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, rec
+}
+
+// TestRoundTrip: a closed journal replays exactly what was appended.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, rec := open(t, path, testOpts())
+	if !rec.Fresh {
+		t.Errorf("fresh journal reported non-fresh recovery: %+v", rec)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.AppendRun(fmt.Sprintf("run-%d", i), []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatalf("AppendRun: %v", err)
+		}
+	}
+	if err := j.AppendShard(ShardRecord{Shard: "1/3", File: "/w/shard-1.runs", Runs: 4}); err != nil {
+		t.Fatalf("AppendShard: %v", err)
+	}
+	if err := j.AppendDone("fig12"); err != nil {
+		t.Fatalf("AppendDone: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec2 := open(t, path, testOpts())
+	defer j2.Close()
+	if rec2.Fresh {
+		t.Error("recovery of a populated journal reported fresh")
+	}
+	// open + 5 runs + shard + done = 8
+	if rec2.Records != 8 || rec2.Runs != 5 || rec2.TruncatedBytes != 0 {
+		t.Errorf("recovery = %+v; want 8 records, 5 runs, 0 truncated", rec2)
+	}
+	for i := 0; i < 5; i++ {
+		data, ok := j2.Run(fmt.Sprintf("run-%d", i))
+		if !ok || string(data) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("run-%d not recovered (ok=%v data=%q)", i, ok, data)
+		}
+	}
+	if sr, ok := j2.RecoveredShard("1/3"); !ok || sr.File != "/w/shard-1.runs" || sr.Runs != 4 {
+		t.Errorf("shard record not recovered: %+v ok=%v", sr, ok)
+	}
+	if got := rec2.Done; len(got) != 1 || got[0] != "fig12" {
+		t.Errorf("done markers = %v, want [fig12]", got)
+	}
+	if st := j2.Stats(); st.Replayed != 8 || st.ResumeHits != 5 {
+		t.Errorf("stats = %+v; want 8 replayed, 5 resume hits", st)
+	}
+}
+
+// TestTornTailTruncated: a partial frame at the tail (the crash-mid-
+// append case) is cut off on open; every record before it survives.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	j.AppendRun("keep-1", []byte("a"))
+	j.AppendRun("keep-2", []byte("b"))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: half of a plausible next frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := []byte{40, 0, 0, 0, '{', '"', 't', '"'}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if rec.TruncatedBytes != int64(len(torn)) {
+		t.Errorf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, len(torn))
+	}
+	for _, k := range []string{"keep-1", "keep-2"} {
+		if _, ok := j2.Run(k); !ok {
+			t.Errorf("%s lost to tail truncation", k)
+		}
+	}
+	// The truncated journal must be appendable and replayable again.
+	if err := j2.AppendRun("after-repair", []byte("c")); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	j2.Close()
+	j3, rec3 := open(t, path, testOpts())
+	defer j3.Close()
+	if rec3.Runs != 3 || rec3.TruncatedBytes != 0 {
+		t.Errorf("post-repair recovery = %+v; want 3 runs, clean tail", rec3)
+	}
+}
+
+// TestCorruptMidRecordTruncatesFrom: a bit flipped inside an interior
+// record invalidates that record and everything after it — the valid
+// prefix is kept, never a gap-toleration that could resurrect stale
+// records out of order.
+func TestCorruptMidRecordTruncatesFrom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	j.AppendRun("first", []byte(strings.Repeat("x", 100)))
+	off := j.off // end of [open, first]
+	j.AppendRun("second", []byte(strings.Repeat("y", 100)))
+	j.AppendRun("third", []byte(strings.Repeat("z", 100)))
+	j.Close()
+
+	// Flip a byte inside "second"'s frame.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if _, ok := j2.Run("first"); !ok {
+		t.Error("record before the corruption lost")
+	}
+	if _, ok := j2.Run("second"); ok {
+		t.Error("corrupt record replayed")
+	}
+	if _, ok := j2.Run("third"); ok {
+		t.Error("record after the corruption replayed (recovery must truncate, not skip)")
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Error("corruption not reported as truncation")
+	}
+}
+
+// TestFingerprintMismatchRotates: a journal from a session with
+// different arguments is moved to *.stale, never replayed.
+func TestFingerprintMismatchRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, Options{Schema: 3, Fingerprint: Fingerprint("grid-A")})
+	j.AppendRun("a-run", []byte("a"))
+	j.Close()
+
+	j2, rec := open(t, path, Options{Schema: 3, Fingerprint: Fingerprint("grid-B")})
+	defer j2.Close()
+	if !rec.Fresh || rec.Rotated == "" {
+		t.Errorf("mismatched journal not rotated: %+v", rec)
+	}
+	if _, ok := j2.Run("a-run"); ok {
+		t.Error("another session's run replayed")
+	}
+	if _, err := os.Stat(path + ".stale"); err != nil {
+		t.Errorf("stale journal not preserved: %v", err)
+	}
+}
+
+// TestSchemaMismatchRotates: a schema bump orphans the journal the same
+// way it orphans store entries.
+func TestSchemaMismatchRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	fp := Fingerprint("same-args")
+	j, _ := open(t, path, Options{Schema: 3, Fingerprint: fp})
+	j.AppendRun("old-schema-run", []byte("a"))
+	j.Close()
+
+	j2, rec := open(t, path, Options{Schema: 4, Fingerprint: fp})
+	defer j2.Close()
+	if !rec.Fresh || !strings.Contains(rec.Rotated, "schema") {
+		t.Errorf("schema-mismatched journal not rotated: %+v", rec)
+	}
+}
+
+// TestGarbageFileRotates: a non-journal file at the path is rotated
+// aside, not a fatal error.
+func TestGarbageFileRotates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	if err := os.WriteFile(path, []byte("this is not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rec := open(t, path, testOpts())
+	defer j.Close()
+	if !rec.Fresh || rec.Rotated == "" {
+		t.Errorf("garbage file not rotated: %+v", rec)
+	}
+	if err := j.AppendRun("r", []byte("p")); err != nil {
+		t.Fatalf("append after rotation: %v", err)
+	}
+}
+
+// TestPlanSupersedesShards: shard records only count under the plan
+// that produced them; a new plan record voids earlier convergences.
+func TestPlanSupersedesShards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	j.AppendPlan("plan-1")
+	j.AppendShard(ShardRecord{Shard: "0/2", File: "/w/s0.runs", Runs: 3})
+	j.AppendPlan("plan-2")
+	j.Close()
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if j2.RecoveredPlan() != "plan-2" {
+		t.Errorf("recovered plan = %q, want plan-2", j2.RecoveredPlan())
+	}
+	if _, ok := j2.RecoveredShard("0/2"); ok {
+		t.Error("shard converged under plan-1 survived plan-2")
+	}
+	if len(rec.Shards) != 0 {
+		t.Errorf("recovery lists superseded shards: %+v", rec.Shards)
+	}
+}
+
+// TestAppendErrFault: journal.append:err fails the append cleanly — the
+// journal stays usable and the record is simply not durable.
+func TestAppendErrFault(t *testing.T) {
+	p, err := fault.Parse("seed=1;journal.append:errx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	if err := j.AppendRun("victim", []byte("a")); err == nil {
+		t.Fatal("injected append error not surfaced")
+	}
+	if err := j.AppendRun("survivor", []byte("b")); err != nil {
+		t.Fatalf("append after injected error: %v", err)
+	}
+	if st := j.Stats(); st.AppendErrors != 1 || st.Appended != 1 {
+		t.Errorf("stats = %+v; want 1 append error, 1 appended", st)
+	}
+	j.Close()
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if _, ok := j2.Run("victim"); ok {
+		t.Error("failed append replayed")
+	}
+	if _, ok := j2.Run("survivor"); !ok {
+		t.Error("append after the failure lost")
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Errorf("err-kind fault left bytes to truncate: %+v", rec)
+	}
+}
+
+// TestAppendShortFault: journal.append:short lands a partial frame that
+// the self-repair truncates immediately — later appends and the final
+// file are clean.
+func TestAppendShortFault(t *testing.T) {
+	p, err := fault.Parse("seed=1;journal.append:shortx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	if err := j.AppendRun("victim", []byte("a")); err == nil {
+		t.Fatal("injected short write not surfaced")
+	}
+	if err := j.AppendRun("survivor", []byte("b")); err != nil {
+		t.Fatalf("append after self-repair: %v", err)
+	}
+	j.Close()
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if rec.TruncatedBytes != 0 {
+		t.Errorf("self-repaired journal still has a torn tail: %+v", rec)
+	}
+	if _, ok := j2.Run("survivor"); !ok {
+		t.Error("append after the short write lost")
+	}
+}
+
+// TestAppendTornFault: journal.append:torn is the crash simulation — a
+// partial frame stays on disk, the journal stops accepting appends, and
+// the next open truncates the tear and resumes from the valid prefix.
+func TestAppendTornFault(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _ := open(t, path, testOpts())
+	j.AppendRun("before", []byte("a"))
+
+	p, err := fault.Parse("seed=1;journal.append:tornx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+	if err := j.AppendRun("torn-victim", []byte("b")); err == nil {
+		t.Fatal("injected torn write not surfaced")
+	}
+	if err := j.AppendRun("after", []byte("c")); err == nil {
+		t.Fatal("append accepted after an unrepaired tear (would be unrecoverable)")
+	}
+	if st := j.Stats(); st.Dropped != 1 {
+		t.Errorf("post-tear append not counted dropped: %+v", st)
+	}
+	j.Close()
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if rec.TruncatedBytes == 0 {
+		t.Error("torn frame not truncated on recovery")
+	}
+	if _, ok := j2.Run("before"); !ok {
+		t.Error("record before the tear lost")
+	}
+	if _, ok := j2.Run("torn-victim"); ok {
+		t.Error("torn record replayed")
+	}
+}
+
+// TestSyncErrFaultRetries: a failed fsync leaves the journal usable and
+// the next sync covers the same records.
+func TestSyncErrFaultRetries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	// SyncEvery high enough that only explicit Syncs fire.
+	j, _, err := Open(path, Options{Schema: 3, Fingerprint: Fingerprint("t"), SyncEvery: 1000, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	p, err := fault.Parse("seed=1;journal.sync:errx1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Enable(p)
+	defer fault.Disable()
+
+	j.AppendRun("r", []byte("p"))
+	if err := j.Sync(); err == nil {
+		t.Fatal("injected sync error not surfaced")
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatalf("retried sync failed: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, rec := open(t, path, Options{Schema: 3, Fingerprint: Fingerprint("t")})
+	defer j2.Close()
+	if rec.Runs != 1 {
+		t.Errorf("record lost across a failed-then-retried sync: %+v", rec)
+	}
+}
+
+// TestSyncBatching: appends below SyncEvery don't fsync; crossing the
+// threshold does.
+func TestSyncBatching(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _, err := Open(path, Options{Schema: 3, Fingerprint: Fingerprint("t"), SyncEvery: 4, SyncInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	base := j.Stats().Syncs // open-record sync
+	for i := 0; i < 3; i++ {
+		j.AppendRun(fmt.Sprintf("r%d", i), []byte("p"))
+	}
+	if got := j.Stats().Syncs; got != base {
+		t.Errorf("synced below the batch threshold (%d -> %d)", base, got)
+	}
+	j.AppendRun("r3", []byte("p"))
+	if got := j.Stats().Syncs; got != base+1 {
+		t.Errorf("batch threshold did not sync (%d -> %d)", base, got)
+	}
+}
+
+// TestFingerprintStability: same parts, same fingerprint; any part
+// changing moves it.
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint("schema=3", "exp=fig12")
+	if a != Fingerprint("schema=3", "exp=fig12") {
+		t.Error("fingerprint not deterministic")
+	}
+	for _, other := range [][]string{
+		{"schema=4", "exp=fig12"},
+		{"schema=3", "exp=fig13"},
+		{"schema=3"},
+		{"schema=3", "exp", "=fig12"}, // separator must prevent gluing
+	} {
+		if Fingerprint(other...) == a {
+			t.Errorf("fingerprint collision with %v", other)
+		}
+	}
+}
+
+// TestStatsReport spot-checks the one-line renderer.
+func TestStatsReport(t *testing.T) {
+	s := Stats{Appended: 5, Replayed: 3, ResumeHits: 2, TruncatedBytes: 17}
+	line := s.Report("/tmp/s.journal")
+	for _, want := range []string{"3 replayed", "2 resume hits", "5 appended", "17 torn-tail bytes", "/tmp/s.journal"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("report %q missing %q", line, want)
+		}
+	}
+}
+
+// BenchmarkJournalAppend measures the hot append path (no explicit
+// syncs; batching at the default cadence).
+func BenchmarkJournalAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "s.journal")
+	j, _, err := Open(path, Options{Schema: 3, Fingerprint: Fingerprint("bench"), SyncEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	payload := []byte(strings.Repeat("x", 256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.AppendRun(fmt.Sprintf("run-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalRecovery measures replaying a 1k-record journal.
+func BenchmarkJournalRecovery(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "s.journal")
+	opts := Options{Schema: 3, Fingerprint: Fingerprint("bench")}
+	j, _, err := Open(path, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(strings.Repeat("x", 256))
+	for i := 0; i < 1000; i++ {
+		j.AppendRun(fmt.Sprintf("run-%d", i), payload)
+	}
+	j.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j2, rec, err := Open(path, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Runs != 1000 {
+			b.Fatalf("replayed %d runs", rec.Runs)
+		}
+		j2.Close()
+	}
+}

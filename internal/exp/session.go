@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	"pracsim/internal/sim"
@@ -27,6 +28,13 @@ type SessionOptions struct {
 	// (which stay zero) instead of executing; figures from a sharded
 	// session are partial by design and are assembled by a later merge.
 	Shard shard.Spec
+	// Journal, when non-nil, is the session's crash-recovery layer:
+	// runs it recovered from a prior interrupted invocation are served
+	// without re-executing (even with no store attached), and every run
+	// this session resolves is appended so the *next* crash loses
+	// nothing either. It sits between the in-process cache and the
+	// store in the lookup order.
+	Journal *journal.Journal
 }
 
 // ErrShardSkipped marks a simulation that belongs to another shard of a
@@ -91,6 +99,15 @@ func (s *Runner) StoreStats() store.Stats {
 	return s.r.store.Stats()
 }
 
+// JournalStats snapshots the session journal's counters; the zero Stats
+// when the session has no journal.
+func (s *Runner) JournalStats() journal.Stats {
+	if s.r.journal == nil {
+		return journal.Stats{}
+	}
+	return s.r.journal.Stats()
+}
+
 // SessionSummary snapshots a session's execution counters in one plain
 // struct — what a shard worker reports back to the dispatch driver and
 // what the CLIs print per session.
@@ -103,6 +120,8 @@ type SessionSummary struct {
 	CachedRuns int
 	// Store is the persistent store's traffic; zero without a store.
 	Store store.Stats
+	// Journal is the session journal's traffic; zero without a journal.
+	Journal journal.Stats
 }
 
 // Summary snapshots the session's execution counters.
@@ -111,6 +130,7 @@ func (s *Runner) Summary() SessionSummary {
 		Executed:   s.Executed(),
 		CachedRuns: s.CachedRuns(),
 		Store:      s.StoreStats(),
+		Journal:    s.JournalStats(),
 	}
 }
 
@@ -200,16 +220,40 @@ func (s *Runner) ImportShards(paths ...string) (int, error) {
 // therefore bump sim.SchemaVersion — that moves the key and orphans
 // every old entry, which is the store's only reliable invalidation.
 func Memo[T any](st *store.Store, key string, fn func() (T, error)) (T, error) {
-	if st == nil {
+	return MemoWith(st, nil, key, fn)
+}
+
+// MemoWith is Memo with an optional session journal layered in front of
+// the store: a memoized experiment recovered from a crashed invocation's
+// journal is served without touching the store or recomputing, and every
+// computed (or store-served) result is journaled so the next crash skips
+// it too. Either layer may be nil.
+func MemoWith[T any](st *store.Store, jl *journal.Journal, key string, fn func() (T, error)) (T, error) {
+	if st == nil && jl == nil {
 		return fn()
 	}
 	full := fmt.Sprintf("pracsim/exp/v%d/%s", sim.SchemaVersion, key)
-	if data, ok := st.Get(full); ok {
+	decode := func(data []byte) (T, bool) {
 		dec := json.NewDecoder(bytes.NewReader(data))
 		dec.DisallowUnknownFields()
 		var res T
-		if err := dec.Decode(&res); err == nil {
-			return res, nil
+		return res, dec.Decode(&res) == nil
+	}
+	if jl != nil {
+		if data, ok := jl.Run(full); ok {
+			if res, ok := decode(data); ok {
+				return res, nil
+			}
+		}
+	}
+	if st != nil {
+		if data, ok := st.Get(full); ok {
+			if res, ok := decode(data); ok {
+				if jl != nil {
+					_ = jl.AppendRun(full, data)
+				}
+				return res, nil
+			}
 		}
 	}
 	res, err := fn()
@@ -219,7 +263,12 @@ func Memo[T any](st *store.Store, key string, fn func() (T, error)) (T, error) {
 	// Persisting is best-effort: a full disk costs future time, not
 	// current correctness.
 	if data, merr := json.Marshal(res); merr == nil {
-		_ = st.Put(full, data)
+		if st != nil {
+			_ = st.Put(full, data)
+		}
+		if jl != nil {
+			_ = jl.AppendRun(full, data)
+		}
 	}
 	return res, nil
 }

@@ -109,7 +109,16 @@ type Disk struct {
 	// quarantined counts entries Get moved aside after they failed
 	// validation; see Quarantined.
 	quarantined atomic.Int64
+	// tmpSwept counts orphaned put-*.tmp files removed at Open; see
+	// TmpSwept.
+	tmpSwept atomic.Int64
 }
+
+// tmpSweepAge gates the Open-time temp sweep: only put-*.tmp files this
+// stale are orphans. A younger temp file may belong to a concurrent
+// writer mid-writeAtomic (another fleet worker sharing the directory),
+// and deleting it would fail that writer's rename.
+const tmpSweepAge = time.Hour
 
 // OpenDisk creates (if needed) and returns the disk backend rooted at dir.
 func OpenDisk(dir string) (*Disk, error) {
@@ -119,8 +128,34 @@ func OpenDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Disk{dir: dir}, nil
+	d := &Disk{dir: dir}
+	d.sweepTmp()
+	return d, nil
 }
+
+// sweepTmp removes stale put-*.tmp files — the debris a process killed
+// mid-writeAtomic leaves behind, which the deferred cleanup never ran
+// for. Age-gated (tmpSweepAge) and best-effort: a sweep failure costs
+// disk space, never correctness.
+func (d *Disk) sweepTmp() {
+	tmps, err := filepath.Glob(filepath.Join(d.dir, "put-*.tmp"))
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-tmpSweepAge)
+	for _, path := range tmps {
+		fi, err := os.Stat(path)
+		if err != nil || fi.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(path) == nil {
+			d.tmpSwept.Add(1)
+		}
+	}
+}
+
+// TmpSwept reports how many orphaned temp files Open removed.
+func (d *Disk) TmpSwept() int64 { return d.tmpSwept.Load() }
 
 // Dir reports the backend's root directory.
 func (d *Disk) Dir() string { return d.dir }

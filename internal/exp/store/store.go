@@ -50,6 +50,9 @@ type Stats struct {
 	// Quarantined counts corrupt entries the disk tier moved aside
 	// (renamed to *.quarantine) after they failed validation on read.
 	Quarantined int64
+	// TmpSwept counts orphaned put-*.tmp files (debris from a writer
+	// killed mid-Put) the disk tier removed when it opened.
+	TmpSwept int64
 	// WritesDropped counts Puts the front discarded after the backing
 	// storage reported itself full (see Store.Put's degrade contract).
 	WritesDropped int64
@@ -198,6 +201,9 @@ func (st Stats) Report(spec string) string {
 	if st.Quarantined > 0 {
 		out += fmt.Sprintf("; quarantined %d corrupt entries", st.Quarantined)
 	}
+	if st.TmpSwept > 0 {
+		out += fmt.Sprintf("; swept %d orphaned temp files", st.TmpSwept)
+	}
 	if st.WritesDropped > 0 {
 		out += fmt.Sprintf("; store full, %d writes dropped", st.WritesDropped)
 	}
@@ -220,6 +226,9 @@ func (s *Store) Stats() Stats {
 	if q, ok := s.b.(quarantiner); ok {
 		st.Quarantined = q.Quarantined()
 	}
+	if t, ok := s.b.(tmpSweeper); ok {
+		st.TmpSwept = t.TmpSwept()
+	}
 	return st
 }
 
@@ -227,6 +236,12 @@ func (s *Store) Stats() Stats {
 // corrupt entries aside (Disk itself, Tiered by delegation).
 type quarantiner interface {
 	Quarantined() int64
+}
+
+// tmpSweeper is implemented by backends with a disk tier that sweeps
+// orphaned temp files at open (Disk itself, Tiered by delegation).
+type tmpSweeper interface {
+	TmpSwept() int64
 }
 
 // Hash is the content address of a key: SHA-256 over the key string. The

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"pracsim/internal/fault"
 )
@@ -592,5 +593,81 @@ func TestDiskGetFaultInjection(t *testing.T) {
 	// The on-disk entry was quarantined, so a fault-free Get misses.
 	if _, ok := s.Get("k"); ok {
 		t.Fatal("quarantined entry served")
+	}
+}
+
+// TestOpenSweepsOrphanedTmpFiles: put-*.tmp debris from a writer killed
+// mid-Put is removed the next time the store opens — but only once it
+// is old enough that it cannot belong to a concurrent writer — and the
+// sweep is visible in Stats and the report line.
+func TestOpenSweepsOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "put-dead1.tmp")
+	young := filepath.Join(dir, "put-live2.tmp")
+	other := filepath.Join(dir, "unrelated.tmp")
+	for _, p := range []string{stale, young, other} {
+		if err := os.WriteFile(p, []byte("half-written frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(other, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(stale); !os.IsNotExist(statErr) {
+		t.Errorf("stale temp file survived the sweep: %v", statErr)
+	}
+	if _, statErr := os.Stat(young); statErr != nil {
+		t.Errorf("young temp file swept (could be a live writer's): %v", statErr)
+	}
+	if _, statErr := os.Stat(other); statErr != nil {
+		t.Errorf("non-Put file swept: %v", statErr)
+	}
+	st := s.Stats()
+	if st.TmpSwept != 1 {
+		t.Errorf("Stats.TmpSwept = %d, want 1", st.TmpSwept)
+	}
+	if !strings.Contains(st.Report(dir), "swept 1 orphaned temp file") {
+		t.Errorf("sweep missing from report: %q", st.Report(dir))
+	}
+
+	// A store with nothing to sweep reports nothing.
+	clean := open(t)
+	if got := clean.Stats().Report("x"); strings.Contains(got, "swept") {
+		t.Errorf("clean store reports a sweep: %q", got)
+	}
+}
+
+// TestTieredReportsLocalTmpSweep: the sweep counter surfaces through a
+// tiered backend the same way quarantines do.
+func TestTieredReportsLocalTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "put-dead.tmp")
+	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+	local, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(NewTiered(local, remote))
+	if got := s.Stats().TmpSwept; got != 1 {
+		t.Errorf("tiered Stats.TmpSwept = %d, want 1", got)
 	}
 }

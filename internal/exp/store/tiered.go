@@ -42,6 +42,14 @@ func (t *Tiered) Quarantined() int64 {
 	return 0
 }
 
+// TmpSwept reports the local tier's orphaned-temp-file sweep count.
+func (t *Tiered) TmpSwept() int64 {
+	if s, ok := t.local.(tmpSweeper); ok {
+		return s.TmpSwept()
+	}
+	return 0
+}
+
 // Get serves the local tier first; a local miss falls through to the
 // remote, and a remote hit back-fills the local tier (best-effort) so
 // the next Get stays off the network. A remote failure is the remote's

@@ -80,6 +80,15 @@ const (
 	// DispatchWorker fires against a running worker attempt: kill
 	// (SIGKILL after the duration operand), delay.
 	DispatchWorker = "dispatch.worker"
+	// JournalAppend fires in the session journal's record append: err
+	// (append fails, nothing written), short (a partial frame lands on
+	// disk and is immediately repaired by truncation), torn (a partial
+	// frame lands on disk and stays there — the crash-mid-append case
+	// recovery must truncate on the next open).
+	JournalAppend = "journal.append"
+	// JournalSync fires in the session journal's fsync batch: err (the
+	// sync fails; the journal stays usable and the next sync retries).
+	JournalSync = "journal.sync"
 )
 
 // Kind names what a fired failpoint does at its site.
@@ -96,6 +105,7 @@ const (
 	Short   Kind = "short"   // short write
 	Kill    Kind = "kill"    // SIGKILL the worker process
 	Delay   Kind = "delay"   // sleep the duration operand
+	Torn    Kind = "torn"    // leave a torn partial write behind (journal)
 )
 
 var knownPoints = map[string]bool{
@@ -104,11 +114,12 @@ var knownPoints = map[string]bool{
 	ServerGet: true, ServerPut: true,
 	ShardRead: true, ShardWrite: true,
 	DispatchSpawn: true, DispatchWorker: true,
+	JournalAppend: true, JournalSync: true,
 }
 
 var knownKinds = map[Kind]bool{
 	Err: true, Timeout: true, HTTP500: true, Trunc: true, Corrupt: true,
-	ENOSPC: true, Short: true, Kill: true, Delay: true,
+	ENOSPC: true, Short: true, Kill: true, Delay: true, Torn: true,
 }
 
 // Points enumerates every failpoint, for docs and usage errors.

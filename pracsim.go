@@ -21,6 +21,7 @@ import (
 	"pracsim/internal/dram"
 	"pracsim/internal/exp"
 	"pracsim/internal/exp/dispatch"
+	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	storeserver "pracsim/internal/exp/store/server"
@@ -143,9 +144,24 @@ type (
 	// cache, so identical (variant, workload) simulations execute once.
 	ExpRunner = exp.Runner
 	// SessionOptions attaches the cross-process scaling layers to a
-	// session: a persistent content-addressed run store and a shard
-	// spec for multi-machine grids.
+	// session: a persistent content-addressed run store, a shard spec
+	// for multi-machine grids, and a crash-recovery run journal.
 	SessionOptions = exp.SessionOptions
+	// RunJournal is the append-only crash-recovery session journal:
+	// completed runs, converged shards and finished experiments recorded
+	// durably so an interrupted invocation resumes instead of rerunning.
+	RunJournal = journal.Journal
+	// JournalOptions configures a journal (schema, session fingerprint,
+	// fsync batching).
+	JournalOptions = journal.Options
+	// JournalRecovery reports what opening a journal replayed, truncated
+	// or rotated.
+	JournalRecovery = journal.Recovery
+	// JournalStats counts journal traffic (replayed, resume hits,
+	// appended, torn-tail bytes, syncs).
+	JournalStats = journal.Stats
+	// JournalShardRecord is one journaled shard convergence.
+	JournalShardRecord = journal.ShardRecord
 	// RunStore is the persistent, content-addressed run store: a
 	// counting, degrade-to-miss front over a StoreBackend.
 	RunStore = store.Store
@@ -247,6 +263,12 @@ var (
 	// failures and stragglers, and returns validated shard files for
 	// ImportShards to merge — the one-command fleet run.
 	Dispatch = dispatch.Run
+	// OpenJournal opens (recovering if present) a crash-recovery session
+	// journal at a path.
+	OpenJournal = journal.Open
+	// JournalFingerprint condenses session-defining arguments into the
+	// fingerprint a journal is keyed by.
+	JournalFingerprint = journal.Fingerprint
 
 	// QuickScale is the minutes-scale experiment configuration.
 	QuickScale = exp.QuickScale
@@ -280,6 +302,11 @@ var (
 	// RunRFMpb evaluates the Section 7.2 per-bank TB-RFM extension.
 	RunRFMpb = exp.RunRFMpb
 )
+
+// ErrDispatchInterrupted reports a dispatch cancelled mid-fleet (signal
+// drain); converged shards are checkpointed in the journal and a
+// re-invocation with the same plan adopts them.
+var ErrDispatchInterrupted = dispatch.ErrInterrupted
 
 // PolicyTPRACpb is the Section 7.2 per-bank TB-RFM extension.
 const PolicyTPRACpb = sim.PolicyTPRACpb
