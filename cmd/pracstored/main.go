@@ -16,12 +16,19 @@
 //
 // Usage:
 //
-//	pracstored [-addr :8420] [-dir DIR] [-token SECRET] [-v]
+//	pracstored [-addr :8420] [-dir DIR] [-budget 512MB] [-token SECRET] [-v]
 //
 // -dir defaults to the same user-cache store `-store auto` uses. -token
 // (default $PRACSTORE_TOKEN) requires `Authorization: Bearer <token>` on
 // every /v1/* route; /healthz and /metrics (Prometheus text format) stay
 // open for probes and scrapers.
+//
+// -budget bounds the store's disk footprint: when a write pushes past
+// it, a background sweep evicts least-recently-accessed entries until
+// the store is back under budget. An evicted entry is a miss — the
+// client recomputes and usually re-publishes it — so a budget can cost
+// time, never correctness. -tmp-sweep-age tunes how stale an orphaned
+// put-*.tmp file must be before the startup sweep removes it.
 package main
 
 import (
@@ -44,6 +51,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8420", "listen address")
 	dir := flag.String("dir", "", "store directory (default: the -store auto user-cache dir)")
+	budget := flag.String("budget", "", "disk budget for the store, e.g. 512MB or 2GB (default: unbounded); least-recently-accessed entries are evicted when a write pushes past it")
+	tmpSweepAge := flag.Duration("tmp-sweep-age", store.DefaultTmpSweepAge,
+		"age past which an orphaned put-*.tmp file is swept at startup")
 	token := flag.String("token", os.Getenv(store.TokenEnv),
 		"bearer token required on /v1/* routes (default $"+store.TokenEnv+"; empty = no auth)")
 	faults := flag.String("faults", os.Getenv(fault.EnvVar),
@@ -69,7 +79,14 @@ func main() {
 		}
 		*dir = d
 	}
-	disk, err := store.OpenDisk(*dir)
+	budgetBytes, err := store.ParseByteSize(*budget)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	disk, err := store.OpenDiskWith(*dir, store.DiskOptions{
+		BudgetBytes: budgetBytes,
+		TmpSweepAge: *tmpSweepAge,
+	})
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -89,7 +106,11 @@ func main() {
 	if *token != "" {
 		auth = "bearer-token"
 	}
-	logger.Printf("serving %s on %s (%s)", disk.Dir(), *addr, auth)
+	if budgetBytes > 0 {
+		logger.Printf("serving %s on %s (%s, budget %.1f MB)", disk.Dir(), *addr, auth, float64(budgetBytes)/(1<<20))
+	} else {
+		logger.Printf("serving %s on %s (%s)", disk.Dir(), *addr, auth)
+	}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests: an
 	// interrupted PUT is retried or absorbed by the client's recompute,

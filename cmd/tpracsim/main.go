@@ -30,11 +30,26 @@
 //
 //	tpracsim -exp fig10|fig11|fig12|fig13|fig14|table5|rfmpb|all
 //	         [-scale quick|full] [-workers N] [-serial]
-//	         [-store DIR|URL|auto|off] [-journal DIR|auto|off]
+//	         [-store DIR|URL|auto|off] [-store-budget SIZE]
+//	         [-journal DIR|auto|off]
 //	         [-shard i/n [-shardout FILE]]
 //	         [-merge FILE,FILE,...] [-csvdir DIR]
-//	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]]
+//	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]
+//	          [-dispatch-min A -dispatch-max B]]
 //	tpracsim -store-info|-store-prune [-store DIR|URL|auto]
+//
+// -store-budget bounds the local store tier's disk footprint (e.g.
+// 512MB): least-recently-accessed entries are evicted in the background
+// when a write pushes past it, and an evicted entry is an ordinary miss
+// — recomputed and usually re-published, never an error. Under
+// -dispatch the budget is forwarded to every fleet worker.
+//
+// -dispatch-max turns the fixed worker pool elastic: the driver starts
+// -dispatch-min slots (default 1) and autoscales between the two bounds
+// on queue depth and straggler demand. With worker journals, a
+// straggler's shard is stolen — the slow attempt is killed and the
+// shard requeued on a fresh slot, resuming from its journal — instead
+// of speculatively duplicated.
 //
 // -journal makes a session crash-safe: every completed run (and, under
 // -dispatch, every converged shard) is appended to a checksummed journal
@@ -89,6 +104,7 @@ func main() {
 	perCycle := flag.Bool("percycle", false, "tick every component every cycle instead of eliding idle cycles (same results, slower)")
 	differential := flag.Bool("differential", false, "run every simulation under both clockings and fail on any divergence")
 	storeMode := flag.String("store", "auto", "persistent run store: a directory, a pracstored URL (http://host:port), 'auto' (user cache dir) or 'off'")
+	storeBudget := flag.String("store-budget", "", "disk budget for the local store tier, e.g. 512MB (default: unbounded); least-recently-accessed entries are evicted when a write pushes past it")
 	storeTimeout := flag.Duration("store-timeout", 10*time.Second, "per-attempt deadline for remote store requests")
 	storeRetries := flag.Int("store-retries", 3, "per-operation attempt budget for remote store requests (including the first)")
 	faults := flag.String("faults", os.Getenv(fault.EnvVar), "deterministic fault schedule, e.g. 'seed=7;store.http.get:err@0.2;dispatch.worker:kill@0.1' (chaos testing; also $"+fault.EnvVar+")")
@@ -100,6 +116,8 @@ func main() {
 	dispatchN := flag.Int("dispatch", 0, "dispatch the grid to N shard workers and auto-merge their results (0 = off)")
 	dispatchCmd := flag.String("dispatch-cmd", "", "worker command template run via sh -c, with {args}/{shard}/{index}/{count}/{slot}/{out} placeholders (default: re-exec this binary)")
 	dispatchAttempts := flag.Int("dispatch-attempts", 3, "per-shard attempt budget for -dispatch")
+	dispatchMin := flag.Int("dispatch-min", 1, "elastic fleet floor: fewest concurrent worker slots (with -dispatch-max)")
+	dispatchMax := flag.Int("dispatch-max", 0, "elastic fleet ceiling: the pool autoscales between -dispatch-min and this on queue depth and stragglers (0 = fixed pool of -dispatch size)")
 	journalMode := flag.String("journal", "off", "crash-recovery session journal: a directory, 'auto' (user cache dir, keyed by the session's arguments) or 'off'; an interrupted invocation re-run with the same arguments resumes instead of re-simulating")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
 	flag.Parse()
@@ -134,9 +152,17 @@ func main() {
 	scale.PerCycle = *perCycle
 	scale.Differential = *differential
 
-	st, warn, err := store.ResolveBackendWith(*storeMode, store.HTTPOptions{
-		Timeout:  *storeTimeout,
-		Attempts: *storeRetries,
+	storeBudgetBytes, err := store.ParseByteSize(*storeBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpracsim: -store-budget: %v\n", err)
+		os.Exit(2)
+	}
+	st, warn, err := store.Resolve(*storeMode, store.Options{
+		Disk: store.DiskOptions{BudgetBytes: storeBudgetBytes},
+		HTTP: store.HTTPOptions{
+			Timeout:  *storeTimeout,
+			Attempts: *storeRetries,
+		},
 	})
 	if warn != "" {
 		fmt.Fprintln(os.Stderr, "tpracsim: "+warn)
@@ -151,6 +177,10 @@ func main() {
 		}
 		runStoreMaintenance(st, *storePrune, *storeInfo)
 		return
+	}
+	if *dispatchMax > 0 && *dispatchMin > *dispatchMax {
+		fmt.Fprintf(os.Stderr, "tpracsim: -dispatch-min %d exceeds -dispatch-max %d\n", *dispatchMin, *dispatchMax)
+		os.Exit(2)
 	}
 	if *dispatchN > 0 && (*perCycle || *differential) {
 		// The validation clockings exist to actually execute every
@@ -268,6 +298,7 @@ func main() {
 
 	if *dispatchN > 0 {
 		if err := runDispatch(dispatchCtx, session, st, jl, *dispatchN, *dispatchCmd, *dispatchAttempts,
+			*dispatchMin, *dispatchMax, *storeBudget,
 			*which, *scaleName, *workers, *serial); err != nil {
 			if errors.Is(err, dispatch.ErrInterrupted) {
 				if jl != nil {
@@ -385,7 +416,7 @@ func resolveJournal(mode, fingerprint string) (*journal.Journal, *journal.Recove
 // Errors return (rather than exiting) so the deferred work-directory
 // cleanup runs on failure paths too.
 func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *journal.Journal,
-	n int, template string, attempts int,
+	n int, template string, attempts, minSlots, maxSlots int, storeBudget string,
 	which, scaleName string, workers int, serial bool) error {
 	// Workers re-run this binary's own configuration, minus the
 	// rendering flags: each executes its shard of the same grid against
@@ -394,8 +425,14 @@ func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *
 	// equal slice instead of all inheriting -workers 0 (all cores) and
 	// oversubscribing the CPU n-fold; an explicit -workers or a fleet
 	// template (remote hosts own their cores) passes through untouched.
+	// An elastic pool divides by its ceiling — that is the most workers
+	// that ever run at once.
 	if template == "" && workers == 0 && !serial {
-		workers = runtime.NumCPU() / n
+		pool := n
+		if maxSlots > 0 && maxSlots < pool {
+			pool = maxSlots
+		}
+		workers = runtime.NumCPU() / pool
 		if workers < 1 {
 			workers = 1
 		}
@@ -403,6 +440,12 @@ func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *
 	args := []string{"-exp", which, "-scale", scaleName, "-workers", strconv.Itoa(workers)}
 	if serial {
 		args = append(args, "-serial")
+	}
+	// Fleet workers run the same lifecycle policy as the driver: their
+	// local disk tiers (or the shared directory store) stay under the
+	// same budget.
+	if storeBudget != "" {
+		args = append(args, "-store-budget", storeBudget)
 	}
 	// Workers re-resolve the spec themselves: a directory reopens the
 	// same disk store, a pracstored URL gives every fleet worker its own
@@ -438,6 +481,8 @@ func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *
 	res, err := dispatch.Run(dispatch.Options{
 		Shards:           n,
 		Workers:          n,
+		MinWorkers:       minSlots,
+		MaxWorkers:       maxSlots,
 		Argv:             append([]string{exe}, args...),
 		Template:         template,
 		Attempts:         attempts,
@@ -454,7 +499,7 @@ func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *
 		return err
 	}
 
-	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "backoff-ms", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-retries", "faults", "j-resume", "j-append"}}
+	t := &stats.Table{Header: []string{"shard", "slot", "attempts", "stolen", "backoff-ms", "runs", "executed", "wall-s", "store-hits", "store-misses", "remote-hits", "remote-retries", "faults", "j-resume", "j-append"}}
 	var totalBackoff time.Duration
 	for _, r := range res.Reports {
 		executed, hits, misses, rhits, rretries, faults := "?", "?", "?", "?", "?", "?"
@@ -476,10 +521,18 @@ func runDispatch(ctx context.Context, session *exp.Runner, st *store.Store, jl *
 			slot, executed = "adopted", "0"
 		}
 		totalBackoff += r.Backoff
-		t.Add(r.Shard.String(), slot, r.Attempts, r.Backoff.Milliseconds(), r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rretries, faults, jresume, jappend)
+		t.Add(r.Shard.String(), slot, r.Attempts, r.Stolen, r.Backoff.Milliseconds(), r.Runs, executed, r.Wall.Seconds(), hits, misses, rhits, rretries, faults, jresume, jappend)
 	}
-	fmt.Printf("dispatch: %d shard(s) converged in %.1fs (%d adopted from journal), %d retried attempt(s), %dms total backoff\n%s",
-		len(res.Reports), res.Wall.Seconds(), res.Adopted(), res.Retries(), totalBackoff.Milliseconds(), t.String())
+	summary := fmt.Sprintf("dispatch: %d shard(s) converged in %.1fs (%d adopted from journal), %d retried attempt(s), %dms total backoff",
+		len(res.Reports), res.Wall.Seconds(), res.Adopted(), res.Retries(), totalBackoff.Milliseconds())
+	if s := res.Steals(); s > 0 {
+		summary += fmt.Sprintf(", %d stolen shard(s)", s)
+	}
+	if maxSlots > 0 {
+		summary += fmt.Sprintf(", pool %d-%d (peak %d, %d up/%d down)",
+			minSlots, maxSlots, res.PeakWorkers, res.ScaleUps, res.ScaleDowns)
+	}
+	fmt.Printf("%s\n%s", summary, t.String())
 
 	// The shard files just validated, but the merge re-reads them; a
 	// transient read failure (NFS hiccup, an injected shard.read fault)

@@ -1,21 +1,29 @@
 // Package dispatch turns the shard/merge workflow into a one-command
-// fleet run. Given a shard count and a worker command — by default a
-// re-exec of the current binary, or any fleet reachable through a shell
-// command template (ssh, containers) — the driver spawns one
-// `-shard i/n -shardout F` worker per shard across a bounded pool of
-// worker slots, streams each worker's output, and hands back validated
-// shard files for the caller to merge through the session's
-// ImportShards path, so the assembled figures are bit-identical to an
-// unsharded run.
+// fleet run. Shards are work units on a shared queue: given a shard
+// count and a worker command — by default a re-exec of the current
+// binary, or any fleet reachable through a shell command template (ssh,
+// containers) — the driver pulls the next queued shard onto each worker
+// slot as it frees up, spawning `-shard i/n -shardout F` workers,
+// streaming their output, and handing back validated shard files for
+// the caller to merge through the session's ImportShards path, so the
+// assembled figures are bit-identical to an unsharded run.
+//
+// The slot pool is either fixed (Workers) or elastic (MinWorkers /
+// MaxWorkers): an elastic pool grows toward its maximum against queue
+// depth and straggler demand, retires idle slots when the queue drains,
+// and journals every resize so a resumed driver adopts the surviving
+// pool shape.
 //
 // Failures are the driver's job, not the operator's: a worker that
 // exits non-zero, dies mid-shard, or produces an unreadable shard file
 // is retried on a different worker slot (the failed slot is excluded
-// while any other is idle) within a per-shard attempt budget, and a
-// shard that keeps running long after its peers finished gets a
-// speculative backup attempt on an idle slot — first complete file
-// wins. Only a shard that exhausts its budget fails the run, carrying
-// the worker's last stderr lines.
+// while any other is idle) within a per-shard attempt budget. A shard
+// that keeps running long after its peers finished is rebalanced: with
+// per-worker journals its attempt is stolen — killed and requeued onto
+// a fresh slot, where the replacement resumes the runs the straggler
+// completed — and without journals it gets a speculative backup attempt
+// instead, first complete file winning. Only a shard that exhausts its
+// budget fails the run, carrying the worker's last stderr lines.
 package dispatch
 
 import (
@@ -46,8 +54,20 @@ type Options struct {
 	Shards int
 	// Workers bounds how many worker processes run at once (the slot
 	// pool; slots are what retry exclusion and templates' {slot} refer
-	// to). 0 means one slot per shard.
+	// to). 0 means one slot per shard. Ignored when MaxWorkers enables
+	// elastic autoscaling.
 	Workers int
+	// MaxWorkers, when > 0, makes the pool elastic: it starts at
+	// MinWorkers slots and autoscales between MinWorkers and MaxWorkers
+	// against queue depth (enough slots for every dispatchable shard)
+	// and straggler demand (a steal or backup that finds no idle slot
+	// grows the pool), shrinking back when the queue drains. Every
+	// resize is journaled (when a Journal is attached) so a resumed
+	// driver adopts the surviving pool shape.
+	MaxWorkers int
+	// MinWorkers floors the elastic pool (default 1). Ignored unless
+	// MaxWorkers is set.
+	MinWorkers int
 	// Argv is the base worker command (binary plus arguments); the
 	// driver appends `-shard i/n -shardout FILE` per attempt. Required
 	// unless Template is set.
@@ -122,6 +142,10 @@ type ShardReport struct {
 	Runs     int           // entries in the shard file
 	Wall     time.Duration // winning attempt's wall-clock
 	Backoff  time.Duration // total re-dispatch backoff this shard waited
+	// Stolen counts attempts of this shard that were killed as
+	// stragglers and requeued onto a fresh slot (work stealing; the
+	// replacement resumed from the shard's worker journal).
+	Stolen int
 	// Summary is the worker's self-reported session trailer (runs
 	// executed, store traffic); zero when the worker printed none —
 	// fake workers in tests and non-tpracsim fleets need not emit it.
@@ -149,6 +173,22 @@ type Result struct {
 	Files   []string // one validated shard file per shard, index order
 	Reports []ShardReport
 	Wall    time.Duration
+	// ScaleUps / ScaleDowns count elastic pool resizes; PeakWorkers is
+	// the largest pool the run reached (all zero for a fixed pool —
+	// PeakWorkers then reports the fixed size).
+	ScaleUps    int
+	ScaleDowns  int
+	PeakWorkers int
+}
+
+// Steals reports the total number of straggler attempts killed and
+// requeued onto fresh slots across all shards.
+func (r *Result) Steals() int {
+	n := 0
+	for _, rep := range r.Reports {
+		n += rep.Stolen
+	}
+	return n
 }
 
 // Retries reports the total number of re-dispatched attempts across all
@@ -217,6 +257,8 @@ type shardState struct {
 	excluded map[int]bool // slots a failed attempt ran on
 	running  []*attempt
 	backoff  time.Duration // total re-dispatch backoff waited
+	stealing bool          // a straggling attempt was killed; requeue on its done event
+	stolen   int           // straggler attempts stolen so far
 	done     bool
 	report   ShardReport
 }
@@ -262,8 +304,19 @@ func Run(opts Options) (*Result, error) {
 	if opts.Template == "" && len(opts.Argv) == 0 {
 		return nil, fmt.Errorf("dispatch: no worker command (set Argv or Template)")
 	}
+	elastic := opts.MaxWorkers > 0
+	minWorkers := opts.MinWorkers
+	if minWorkers < 1 {
+		minWorkers = 1
+	}
+	maxWorkers := opts.MaxWorkers
+	if maxWorkers < minWorkers {
+		maxWorkers = minWorkers
+	}
 	workers := opts.Workers
-	if workers <= 0 {
+	if elastic {
+		workers = minWorkers
+	} else if workers <= 0 {
 		workers = opts.Shards
 	}
 	if opts.Attempts <= 0 {
@@ -299,7 +352,7 @@ func Run(opts Options) (*Result, error) {
 		dir:  dir,
 		// Buffered past the worst case so attempt goroutines can always
 		// deliver their event and exit, even after Run has returned.
-		events: make(chan doneEvent, opts.Shards*opts.Attempts+workers),
+		events: make(chan doneEvent, opts.Shards*opts.Attempts+workers+maxWorkers),
 		ctx:    ctx,
 		policy: retry.Policy{Base: opts.RetryBase, Max: opts.RetryMax},
 		log:    opts.Log,
@@ -308,11 +361,15 @@ func Run(opts Options) (*Result, error) {
 	// With a journal attached, recover: under an unchanged fleet plan,
 	// shards the interrupted driver already converged are adopted from
 	// their recorded files (re-validated — a deleted or torn file just
-	// re-dispatches) instead of re-spawning workers.
+	// re-dispatches) instead of re-spawning workers, and an elastic pool
+	// adopts the journaled pool size instead of re-growing from its
+	// minimum.
 	adoptable := map[int]journal.ShardRecord{}
+	samePlan := false
 	if opts.Journal != nil {
 		fp := planFingerprint(opts)
 		if opts.Journal.RecoveredPlan() == fp {
+			samePlan = true
 			for i := 0; i < opts.Shards; i++ {
 				sp := shard.Spec{Index: i, Count: opts.Shards}
 				if sr, ok := opts.Journal.RecoveredShard(sp.String()); ok {
@@ -323,6 +380,20 @@ func Run(opts Options) (*Result, error) {
 			// A new (or first) plan: journal it, superseding any shard
 			// records a different plan left behind.
 			_ = opts.Journal.AppendPlan(fp)
+		}
+	}
+	if elastic && samePlan {
+		if rp := opts.Journal.RecoveredPool(); rp > 0 {
+			if rp > maxWorkers {
+				rp = maxWorkers
+			}
+			if rp < minWorkers {
+				rp = minWorkers
+			}
+			if rp != workers {
+				workers = rp
+				d.logf("dispatch: adopting journaled pool of %d slot(s)", workers)
+			}
 		}
 	}
 
@@ -351,9 +422,24 @@ func Run(opts Options) (*Result, error) {
 		}
 		pending = append(pending, pendingShard{index: i})
 	}
-	idle := make([]int, 0, workers)
-	for s := 0; s < workers; s++ {
-		idle = append(idle, s)
+	p := newSlotPool(workers, minWorkers, maxWorkers, elastic)
+	lastPool := p.size
+	// logScale journals and logs a pool resize exactly once per change,
+	// wherever in the loop it happened (queue-depth resize, straggler
+	// demand inside rebalance).
+	logScale := func(why string) {
+		if p.size == lastPool {
+			return
+		}
+		dirWord := "up"
+		if p.size < lastPool {
+			dirWord = "down"
+		}
+		d.logf("dispatch: pool scaled %s to %d slot(s) (%s)", dirWord, p.size, why)
+		if opts.Journal != nil {
+			_ = opts.Journal.AppendScale(p.size)
+		}
+		lastPool = p.size
 	}
 
 	var tick <-chan time.Time
@@ -368,24 +454,42 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	d.logf("dispatch: %d shards across %d worker slot(s), %d attempt(s) per shard", opts.Shards, workers, opts.Attempts)
+	if elastic {
+		d.logf("dispatch: %d shards on an elastic pool (%d..%d slots, starting at %d), %d attempt(s) per shard",
+			opts.Shards, minWorkers, maxWorkers, p.size, opts.Attempts)
+	} else {
+		d.logf("dispatch: %d shards across %d worker slot(s), %d attempt(s) per shard", opts.Shards, workers, opts.Attempts)
+	}
 	var converged []time.Duration
 	for completed < opts.Shards {
+		// Elastic resize against queue depth: grow until every
+		// dispatchable shard has a slot (capped at max), and retire the
+		// idle surplus once nothing is queued.
+		if p.elastic {
+			ready := countReady(pending, time.Now())
+			if ready > len(p.idle) {
+				p.growTo(p.busy() + ready)
+				logScale(fmt.Sprintf("%d shard(s) queued", ready))
+			} else if len(pending) == 0 {
+				p.shrinkTo(p.busy())
+				logScale("queue drained")
+			}
+		}
 		// Launch every pending shard whose backoff has elapsed onto an
 		// idle slot; shards still backing off stay queued without
 		// blocking their peers.
-		for len(idle) > 0 {
+		for len(p.idle) > 0 {
 			pi := nextReady(pending, time.Now())
 			if pi < 0 {
 				break
 			}
 			st := states[pending[pi].index]
 			pending = append(pending[:pi], pending[pi+1:]...)
-			slot := takeSlot(&idle, st.excluded)
-			d.launch(st, slot)
+			d.launch(st, p.take(st.excluded))
 		}
-		if len(pending) == 0 && len(idle) > 0 && completed*2 >= opts.Shards {
-			d.maybeBackup(states, &idle, converged)
+		if len(pending) == 0 && (len(p.idle) > 0 || p.canGrow()) && completed*2 >= opts.Shards {
+			d.rebalance(states, p, converged)
+			logScale("straggler demand")
 		}
 
 		// When the only runnable work is a shard waiting out its backoff,
@@ -393,7 +497,7 @@ func Run(opts Options) (*Result, error) {
 		// channel with dispatchable work queued.
 		var backoffCh <-chan time.Time
 		var backoffTimer *time.Timer
-		if len(idle) > 0 {
+		if len(p.idle) > 0 || p.canGrow() {
 			if wait, ok := earliestReady(pending, time.Now()); ok {
 				backoffTimer = time.NewTimer(wait)
 				backoffCh = backoffTimer.C
@@ -420,7 +524,7 @@ func Run(opts Options) (*Result, error) {
 				backoffTimer.Stop()
 			}
 			st := states[ev.a.sp.Index]
-			idle = append(idle, ev.a.slot)
+			p.release(ev.a.slot)
 			st.running = removeAttempt(st.running, ev.a)
 			if st.done {
 				// Loser of a backup race; its file (if any) is redundant.
@@ -430,6 +534,10 @@ func Run(opts Options) (*Result, error) {
 			if ev.err == nil {
 				runs, verr := validateFile(ev.a.out, opts.Schema)
 				if verr == nil {
+					// A stolen attempt can finish its file in the narrow
+					// window before the kill lands; a converged shard is a
+					// converged shard.
+					st.stealing = false
 					completed++
 					converged = append(converged, time.Since(ev.a.start))
 					d.finish(st, ev.a, runs)
@@ -440,6 +548,16 @@ func Run(opts Options) (*Result, error) {
 				ev.err = verr
 			}
 			st.excluded[ev.a.slot] = true
+			if st.stealing {
+				// The kill rebalance asked for: not a failure, so no
+				// backoff — requeue immediately, and the replacement
+				// resumes from the shard's worker journal on a fresh slot.
+				st.stealing = false
+				os.Remove(ev.a.out)
+				d.logf("dispatch: shard %s stolen from slot %d — requeued", st.sp, ev.a.slot)
+				pending = append(pending, pendingShard{index: st.sp.Index})
+				continue
+			}
 			d.logf("dispatch: shard %s attempt %d failed on slot %d: %v", st.sp, ev.a.n, ev.a.slot, ev.err)
 			if len(st.running) > 0 {
 				continue // a backup attempt is still in flight
@@ -474,13 +592,23 @@ func Run(opts Options) (*Result, error) {
 	// attempt is still being killed; the loop exits without seeing the
 	// loser's event, so sweep its files here instead.
 	sweepAttempts(states)
-	res := &Result{Dir: dir, Wall: time.Since(start)}
+	res := &Result{
+		Dir: dir, Wall: time.Since(start),
+		ScaleUps: p.ups, ScaleDowns: p.downs, PeakWorkers: p.peak,
+	}
 	for _, st := range states {
 		res.Files = append(res.Files, st.report.File)
 		res.Reports = append(res.Reports, st.report)
 	}
-	d.logf("dispatch: %d/%d shards converged in %.1fs (%d retried attempt(s))",
+	line := fmt.Sprintf("dispatch: %d/%d shards converged in %.1fs (%d retried attempt(s)",
 		completed, opts.Shards, res.Wall.Seconds(), res.Retries())
+	if n := res.Steals(); n > 0 {
+		line += fmt.Sprintf(", %d stolen", n)
+	}
+	if elastic {
+		line += fmt.Sprintf(", pool peaked at %d slot(s)", p.peak)
+	}
+	d.logf("%s)", line)
 	return res, nil
 }
 
@@ -567,6 +695,7 @@ func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
 		Runs:       runs,
 		Wall:       wall,
 		Backoff:    st.backoff,
+		Stolen:     st.stolen,
 		Summary:    sum,
 		HasSummary: ok,
 	}
@@ -574,32 +703,56 @@ func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
 		st.sp, a.slot, a.n, runs, wall.Seconds())
 }
 
-// maybeBackup speculatively re-dispatches stragglers onto idle slots:
-// with no pending work and at least half the shards converged, a shard
-// whose sole running attempt has outlived factor x the median converged
-// wall-clock gets one backup on a different slot; the first complete
-// file wins.
-func (d *dispatcher) maybeBackup(states []*shardState, idle *[]int, converged []time.Duration) {
+// rebalance sheds load from stragglers. With no pending work and at
+// least half the shards converged, a shard whose sole running attempt
+// has outlived StragglerFactor x the median converged wall-clock
+// (floored at StragglerMin) is rebalanced one of two ways:
+//
+//   - Steal (WorkerJournalDir set): the straggling attempt is killed and
+//     the shard requeued immediately onto a fresh slot, where the
+//     replacement worker resumes from the shard's journal — the
+//     straggler's completed runs are kept, only its remaining work
+//     moves. An elastic pool grows a slot for the requeue when none is
+//     idle.
+//
+//   - Speculative backup (no worker journals): killing the straggler
+//     would discard everything it has done, so it keeps running and a
+//     duplicate attempt races it on an idle slot — first complete file
+//     wins.
+func (d *dispatcher) rebalance(states []*shardState, p *slotPool, converged []time.Duration) {
 	threshold := time.Duration(float64(medianDuration(converged)) * d.opts.StragglerFactor)
 	if threshold < d.opts.StragglerMin {
 		threshold = d.opts.StragglerMin
 	}
 	for _, st := range states {
-		if len(*idle) == 0 {
-			return
-		}
-		if st.done || len(st.running) != 1 || st.attempts >= d.opts.Attempts {
+		if st.done || st.stealing || len(st.running) != 1 || st.attempts >= d.opts.Attempts {
 			continue
 		}
 		a := st.running[0]
 		if time.Since(a.start) < threshold {
 			continue
 		}
+		if d.opts.WorkerJournalDir != "" {
+			// Steal. Make sure the requeue will have somewhere to land
+			// before killing anything.
+			if len(p.idle) == 0 && p.growTo(p.size+1) == 0 {
+				return
+			}
+			st.stealing = true
+			st.stolen++
+			d.logf("dispatch: shard %s straggling on slot %d (%.1fs, median %.1fs) — stealing: killing the attempt, its journal resumes elsewhere",
+				st.sp, a.slot, time.Since(a.start).Seconds(), medianDuration(converged).Seconds())
+			a.cancel()
+			continue
+		}
 		avoid := map[int]bool{a.slot: true}
 		for s := range st.excluded {
 			avoid[s] = true
 		}
-		slot, ok := takeSlotAvoiding(idle, avoid)
+		slot, ok := p.takeAvoiding(avoid)
+		if !ok && p.growTo(p.size+1) > 0 {
+			slot, ok = p.takeAvoiding(avoid)
+		}
 		if !ok {
 			continue // only the straggler's own slot is idle
 		}
@@ -721,6 +874,18 @@ func sweepAttempts(states []*shardState) {
 	}
 }
 
+// countReady reports how many pending shards are dispatchable now (their
+// backoff has elapsed) — the queue depth the elastic pool sizes against.
+func countReady(pending []pendingShard, now time.Time) int {
+	n := 0
+	for _, p := range pending {
+		if !p.readyAt.After(now) {
+			n++
+		}
+	}
+	return n
+}
+
 // nextReady returns the index in pending of the first shard whose
 // backoff has elapsed, or -1.
 func nextReady(pending []pendingShard, now time.Time) int {
@@ -749,23 +914,100 @@ func earliestReady(pending []pendingShard, now time.Time) (time.Duration, bool) 
 	return min, ok
 }
 
-// takeSlot pops an idle slot, preferring one no failed attempt of this
+// slotPool manages the worker slots shards are pulled onto: a fixed set
+// of slot ids, or — in elastic mode — a pool that grows toward max on
+// queue pressure and straggler demand and retires idle slots when the
+// queue drains. Slot ids are never reused after retirement, so {slot}
+// in templates and the retry-exclusion maps stay unambiguous.
+type slotPool struct {
+	size, min, max int
+	elastic        bool
+	idle           []int
+	next           int // next fresh slot id (monotonic)
+	ups, downs     int
+	peak           int
+}
+
+func newSlotPool(size, min, max int, elastic bool) *slotPool {
+	p := &slotPool{size: size, min: min, max: max, elastic: elastic, next: size, peak: size}
+	for s := 0; s < size; s++ {
+		p.idle = append(p.idle, s)
+	}
+	return p
+}
+
+func (p *slotPool) busy() int     { return p.size - len(p.idle) }
+func (p *slotPool) canGrow() bool { return p.elastic && p.size < p.max }
+
+// release returns a slot to the idle set.
+func (p *slotPool) release(slot int) { p.idle = append(p.idle, slot) }
+
+// growTo adds fresh idle slots until the pool reaches target (capped at
+// max), reporting how many were added.
+func (p *slotPool) growTo(target int) int {
+	if !p.elastic {
+		return 0
+	}
+	if target > p.max {
+		target = p.max
+	}
+	added := 0
+	for p.size < target {
+		p.idle = append(p.idle, p.next)
+		p.next++
+		p.size++
+		added++
+	}
+	if added > 0 {
+		p.ups++
+		if p.size > p.peak {
+			p.peak = p.size
+		}
+	}
+	return added
+}
+
+// shrinkTo retires idle slots until the pool is down to target (floored
+// at min and at the busy count), reporting how many were retired.
+func (p *slotPool) shrinkTo(target int) int {
+	if !p.elastic {
+		return 0
+	}
+	if target < p.min {
+		target = p.min
+	}
+	if b := p.busy(); target < b {
+		target = b
+	}
+	removed := 0
+	for p.size > target && len(p.idle) > 0 {
+		p.idle = p.idle[:len(p.idle)-1]
+		p.size--
+		removed++
+	}
+	if removed > 0 {
+		p.downs++
+	}
+	return removed
+}
+
+// take pops an idle slot, preferring one no failed attempt of this
 // shard ran on; when every idle slot is excluded the first is used
 // anyway (a retry beats starvation).
-func takeSlot(idle *[]int, excluded map[int]bool) int {
-	if slot, ok := takeSlotAvoiding(idle, excluded); ok {
+func (p *slotPool) take(excluded map[int]bool) int {
+	if slot, ok := p.takeAvoiding(excluded); ok {
 		return slot
 	}
-	slot := (*idle)[0]
-	*idle = (*idle)[1:]
+	slot := p.idle[0]
+	p.idle = p.idle[1:]
 	return slot
 }
 
-// takeSlotAvoiding pops the first idle slot not in avoid.
-func takeSlotAvoiding(idle *[]int, avoid map[int]bool) (int, bool) {
-	for i, slot := range *idle {
+// takeAvoiding pops the first idle slot not in avoid.
+func (p *slotPool) takeAvoiding(avoid map[int]bool) (int, bool) {
+	for i, slot := range p.idle {
 		if !avoid[slot] {
-			*idle = append((*idle)[:i], (*idle)[i+1:]...)
+			p.idle = append(p.idle[:i], p.idle[i+1:]...)
 			return slot, true
 		}
 	}

@@ -622,3 +622,136 @@ func TestInterruptCheckpoints(t *testing.T) {
 		t.Errorf("drain waited out the workers (%.1fs)", took.Seconds())
 	}
 }
+
+// TestElasticPoolScalesWithQueue: an elastic fleet starts at
+// MinWorkers, grows to cover the queued shards, and retires idle slots
+// as the queue drains — with the scale trajectory visible in the
+// progress log and the result counters.
+func TestElasticPoolScalesWithQueue(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 4)
+	var log bytes.Buffer
+	res, err := Run(Options{
+		Shards:     4,
+		MinWorkers: 1,
+		MaxWorkers: 4,
+		Template:   fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre),
+		Dir:        t.TempDir(),
+		Schema:     testSchema,
+		Log:        &log,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if res.PeakWorkers != 4 {
+		t.Errorf("PeakWorkers = %d, want 4 (queue depth should grow the pool to max)", res.PeakWorkers)
+	}
+	if res.ScaleUps < 1 || res.ScaleDowns < 1 {
+		t.Errorf("scale counters = %d up / %d down, want >=1 each", res.ScaleUps, res.ScaleDowns)
+	}
+	if !strings.Contains(log.String(), "pool scaled up to 4 slot(s)") {
+		t.Errorf("grow not visible in progress log:\n%s", log.String())
+	}
+	if !strings.Contains(log.String(), "pool scaled down") {
+		t.Errorf("shrink not visible in progress log:\n%s", log.String())
+	}
+	seen := map[string]bool{}
+	for i, f := range res.Files {
+		entries, err := shard.ReadFile(f, testSchema)
+		if err != nil {
+			t.Fatalf("shard file %d: %v", i, err)
+		}
+		for _, e := range entries {
+			if seen[e.Key] {
+				t.Errorf("key %s appears in two shard files", e.Key)
+			}
+			seen[e.Key] = true
+		}
+	}
+	if len(seen) != len(fakeWorkerKeys()) {
+		t.Errorf("elastic fleet covered %d keys, universe has %d", len(seen), len(fakeWorkerKeys()))
+	}
+}
+
+// TestStragglerStolenResumesOnFreshSlot: with worker journals, a
+// straggling shard is stolen — its attempt killed and the shard
+// requeued onto a fresh slot — instead of speculatively duplicated, and
+// the shard file the replacement produces is merge-valid.
+func TestStragglerStolenResumesOnFreshSlot(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 2)
+	// Slot 0 hangs far beyond the test horizon; any other slot is fast.
+	tmpl := fmt.Sprintf("if [ {slot} = 0 ]; then sleep 300; exit 1; fi; cp %s/pre-{index}.runs {out}", pre)
+	var log bytes.Buffer
+	start := time.Now()
+	res, err := Run(Options{
+		Shards:           2,
+		MinWorkers:       1,
+		MaxWorkers:       2,
+		Template:         tmpl,
+		Dir:              t.TempDir(),
+		Schema:           testSchema,
+		Log:              &log,
+		StragglerFactor:  1.5,
+		StragglerMin:     100 * time.Millisecond,
+		WorkerJournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	if took := time.Since(start); took > 30*time.Second {
+		t.Errorf("dispatch waited out the straggler (%.1fs)", took.Seconds())
+	}
+	slow := res.Reports[0] // shard 0 landed on slot 0 first
+	if slow.Stolen != 1 || slow.Slot == 0 || slow.Attempts != 2 {
+		t.Errorf("straggling shard should converge via a stolen requeue on a fresh slot; got %+v", slow)
+	}
+	if res.Steals() != 1 {
+		t.Errorf("Steals() = %d, want 1", res.Steals())
+	}
+	for _, want := range []string{"stealing", "stolen from slot 0"} {
+		if !strings.Contains(log.String(), want) {
+			t.Errorf("steal not visible in progress log (missing %q):\n%s", want, log.String())
+		}
+	}
+	if _, err := shard.ReadFile(res.Files[0], testSchema); err != nil {
+		t.Errorf("stolen shard's final file invalid: %v", err)
+	}
+}
+
+// TestElasticScaleJournaled: pool resizes are checkpointed, so a
+// resumed driver can adopt the surviving pool shape.
+func TestElasticScaleJournaled(t *testing.T) {
+	pre := t.TempDir()
+	writeFakeShardFiles(t, pre, 3)
+	jpath := filepath.Join(t.TempDir(), "s.journal")
+	jopts := journal.Options{Schema: testSchema, Fingerprint: journal.Fingerprint("scale-test")}
+	jl1, _, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Options{
+		Shards:     3,
+		MinWorkers: 1,
+		MaxWorkers: 3,
+		Template:   fmt.Sprintf("cp %s/pre-{index}.runs {out}", pre),
+		Dir:        t.TempDir(),
+		Schema:     testSchema,
+		Journal:    jl1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	jl1.Close()
+
+	jl2, rec, err := journal.Open(jpath, jopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if rec.Pool < 1 {
+		t.Errorf("recovered pool = %d, want the elastic run's checkpointed size (>=1)", rec.Pool)
+	}
+	if jl2.RecoveredPool() != rec.Pool {
+		t.Errorf("RecoveredPool() = %d, recovery says %d", jl2.RecoveredPool(), rec.Pool)
+	}
+}

@@ -70,6 +70,7 @@ const (
 	typeRun    = "run"
 	typePlan   = "plan"
 	typeShard  = "shard"
+	typeScale  = "scale"
 	typeMerge  = "merge"
 	typeExport = "export"
 	typeDone   = "done"
@@ -88,6 +89,7 @@ type record struct {
 	Runs    int      `json:"runs,omitempty"`    // shard, merge, export
 	Files   []string `json:"files,omitempty"`   // merge
 	Name    string   `json:"name,omitempty"`    // done (experiment name)
+	Pool    int      `json:"pool,omitempty"`    // scale (surviving worker-pool size)
 }
 
 // ShardRecord is a journaled per-shard convergence: the validated shard
@@ -132,6 +134,10 @@ type Recovery struct {
 	Shards []ShardRecord
 	// Plan is the replayed fleet-plan fingerprint ("" without one).
 	Plan string
+	// Pool is the replayed worker-pool size from the last scale record
+	// (0 without one) — the surviving fleet shape an elastic dispatch
+	// adopts on resume.
+	Pool int
 	// Done lists replayed completion markers (experiment names).
 	Done []string
 	// Merges counts replayed merge-completion records.
@@ -194,6 +200,7 @@ type Journal struct {
 	runs   map[string][]byte
 	shards map[string]ShardRecord
 	plan   string
+	pool   int
 
 	appended, replayed, resumeHits, truncated, syncs, appendErrs, dropped int64
 
@@ -327,15 +334,20 @@ func adopt(f *os.File, path string, opts Options, rec *Recovery) (*Journal, stri
 		case typePlan:
 			j.plan = r.FP
 			// A new plan supersedes any shard state recorded under the
-			// old one.
+			// old one — and the pool shape that served it.
 			if len(j.shards) > 0 {
 				j.shards = make(map[string]ShardRecord)
 				rec.Shards = nil
 			}
+			j.pool = 0
+			rec.Pool = 0
 		case typeShard:
 			sr := ShardRecord{Shard: r.Shard, File: r.File, Runs: r.Runs}
 			j.shards[r.Shard] = sr
 			rec.Shards = append(rec.Shards, sr)
+		case typeScale:
+			j.pool = r.Pool
+			rec.Pool = r.Pool
 		case typeMerge:
 			rec.Merges++
 		case typeDone:
@@ -431,6 +443,11 @@ func (j *Journal) RecoveredShard(shard string) (ShardRecord, bool) {
 // one).
 func (j *Journal) RecoveredPlan() string { return j.plan }
 
+// RecoveredPool reports the replayed worker-pool size from the last
+// scale record under the current plan (0 without one) — what an elastic
+// dispatch adopts instead of re-growing from its minimum.
+func (j *Journal) RecoveredPool() int { return j.pool }
+
 // AppendRun journals one completed run. Best-effort like every append:
 // an error means this run re-executes after a crash, nothing more.
 func (j *Journal) AppendRun(key string, payload []byte) error {
@@ -451,6 +468,14 @@ func (j *Journal) AppendShard(sr ShardRecord) error {
 		return err
 	}
 	return j.Sync()
+}
+
+// AppendScale journals an elastic-dispatch pool resize, so a resumed
+// driver adopts the surviving pool shape instead of re-learning it.
+// Unsynced on purpose: losing a scale record costs one re-grow, nothing
+// else.
+func (j *Journal) AppendScale(pool int) error {
+	return j.append(record{Type: typeScale, Pool: pool})
 }
 
 // AppendMerge journals a completed shard merge.

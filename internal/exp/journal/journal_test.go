@@ -464,3 +464,47 @@ func BenchmarkJournalRecovery(b *testing.B) {
 		j2.Close()
 	}
 }
+
+// TestScaleRecordRoundTrip: the last checkpointed pool size survives a
+// reopen, and a new plan supersedes it — a resumed driver only adopts a
+// pool shape that belongs to its own fleet plan.
+func TestScaleRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.journal")
+	j, _, err := Open(path, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.RecoveredPool() != 0 {
+		t.Errorf("fresh journal recovered pool %d, want 0", j.RecoveredPool())
+	}
+	if err := j.AppendPlan("plan-a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 3} {
+		if err := j.AppendScale(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, rec, err := Open(path, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pool != 3 || j2.RecoveredPool() != 3 {
+		t.Errorf("recovered pool = %d/%d, want 3 (the last scale record)", rec.Pool, j2.RecoveredPool())
+	}
+	// A new plan resets the pool along with the shard records.
+	if err := j2.AppendPlan("plan-b"); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, rec3, err := Open(path, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if rec3.Pool != 0 || j3.RecoveredPool() != 0 {
+		t.Errorf("pool survived a plan supersession: %d/%d, want 0", rec3.Pool, j3.RecoveredPool())
+	}
+}

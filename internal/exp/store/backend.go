@@ -52,6 +52,33 @@ type Backend interface {
 	Spec() string
 }
 
+// entryWalker is the optional streaming enumeration: backends that can
+// deliver entries one at a time implement it, and the maintenance layer
+// (Collect, Prune) prefers it over List so summarizing a million-entry
+// store never materializes a million Infos.
+type entryWalker interface {
+	ListEach(fn func(Info) error) error
+}
+
+// ListEach streams b's entries to fn, using the backend's streaming
+// enumeration when it has one and degrading to a materialized List
+// otherwise. An error from fn stops the walk and is returned.
+func ListEach(b Backend, fn func(Info) error) error {
+	if w, ok := b.(entryWalker); ok {
+		return w.ListEach(fn)
+	}
+	infos, err := b.List()
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		if err := fn(info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RemoteStats counts a remote (HTTP) backend's wire traffic, kept apart
 // from the front counters so a tiered session can show how many hits the
 // local cache absorbed versus how many crossed the network — and how

@@ -104,7 +104,12 @@ func DecodeFrameAny(data []byte) (key string, payload []byte, err error) {
 // entries. The on-disk format predates the Backend split and is
 // unchanged: stores written by earlier releases read back as-is.
 type Disk struct {
-	dir string
+	dir    string
+	tmpAge time.Duration
+
+	// lc is the budget/eviction layer, nil unless DiskOptions.BudgetBytes
+	// was set — a budget-less Disk pays one nil check per operation.
+	lc *lifecycle
 
 	// quarantined counts entries Get moved aside after they failed
 	// validation; see Quarantined.
@@ -114,22 +119,53 @@ type Disk struct {
 	tmpSwept atomic.Int64
 }
 
-// tmpSweepAge gates the Open-time temp sweep: only put-*.tmp files this
-// stale are orphans. A younger temp file may belong to a concurrent
-// writer mid-writeAtomic (another fleet worker sharing the directory),
-// and deleting it would fail that writer's rename.
-const tmpSweepAge = time.Hour
+// DefaultTmpSweepAge gates the Open-time temp sweep: only put-*.tmp
+// files this stale are orphans. A younger temp file may belong to a
+// concurrent writer mid-writeAtomic (another fleet worker sharing the
+// directory), and deleting it would fail that writer's rename.
+const DefaultTmpSweepAge = time.Hour
+
+// DiskOptions tunes the disk backend. The zero value means defaults, so
+// OpenDiskWith(dir, DiskOptions{}) == OpenDisk(dir).
+type DiskOptions struct {
+	// BudgetBytes caps the store's entry-file footprint: when a Put
+	// pushes past it, a background sweep evicts least-recently-accessed
+	// entries until the footprint is ~90% of the budget. 0 disables
+	// eviction (the default — the store grows unbounded, as before).
+	BudgetBytes int64
+	// TmpSweepAge overrides how stale a put-*.tmp file must be before
+	// the Open-time sweep treats it as an orphan (default
+	// DefaultTmpSweepAge). Chaos tests shrink it instead of faking
+	// mtimes.
+	TmpSweepAge time.Duration
+}
 
 // OpenDisk creates (if needed) and returns the disk backend rooted at dir.
 func OpenDisk(dir string) (*Disk, error) {
+	return OpenDiskWith(dir, DiskOptions{})
+}
+
+// OpenDiskWith is OpenDisk with explicit lifecycle options. When a
+// budget is configured, the access-time index is rebuilt from the
+// directory (sharpened by the persisted sidecar) and an immediately
+// over-budget store starts a sweep right away.
+func OpenDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	d := &Disk{dir: dir}
+	d := &Disk{dir: dir, tmpAge: opts.TmpSweepAge}
+	if d.tmpAge <= 0 {
+		d.tmpAge = DefaultTmpSweepAge
+	}
+	if opts.BudgetBytes > 0 {
+		d.lc = &lifecycle{budget: opts.BudgetBytes}
+		d.lc.rebuild(dir)
+	}
 	d.sweepTmp()
+	d.maybeSweep()
 	return d, nil
 }
 
@@ -142,7 +178,7 @@ func (d *Disk) sweepTmp() {
 	if err != nil {
 		return
 	}
-	cutoff := time.Now().Add(-tmpSweepAge)
+	cutoff := time.Now().Add(-d.tmpAge)
 	for _, path := range tmps {
 		fi, err := os.Stat(path)
 		if err != nil || fi.ModTime().After(cutoff) {
@@ -176,11 +212,19 @@ func (d *Disk) hashPath(hash string) string {
 // and rejected once, not on every access, while staying on disk for
 // diagnosis.
 func (d *Disk) Get(key string) ([]byte, error) {
-	path := d.path(key)
+	hash := Hash(key)
+	path := d.hashPath(hash)
+	if a := fault.Fire(fault.StoreDiskEvict); a != nil && a.Kind == fault.Evict {
+		// Injected eviction: the entry vanishes before it is served, so
+		// this read (and every later one until a re-Put) is a plain miss.
+		d.injectEvict(hash)
+	}
 	act := fault.Fire(fault.StoreDiskGet)
 	if act != nil && act.Kind == fault.Err {
 		return nil, act.Err("get " + path)
 	}
+	d.lcPin(hash)
+	defer d.lcUnpin(hash)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -194,8 +238,10 @@ func (d *Disk) Get(key string) ([]byte, error) {
 	payload, err := DecodeFrame(data, key)
 	if err != nil {
 		d.quarantine(path)
+		d.lcForget(hash)
 		return nil, err
 	}
+	d.lcTouchGet(hash)
 	return payload, nil
 }
 
@@ -224,7 +270,18 @@ func (d *Disk) Put(key string, payload []byte) error {
 			return a.Err("put " + d.dir)
 		}
 	}
-	return d.writeAtomic(d.path(key), EncodeFrame(key, payload))
+	hash := Hash(key)
+	frame := EncodeFrame(key, payload)
+	// Pinned across the publish so a concurrent budget sweep cannot
+	// select the entry while it is being (re)written — the sweep would
+	// otherwise race the rename and delete what was just published.
+	d.lcPin(hash)
+	defer d.lcUnpin(hash)
+	if err := d.writeAtomic(d.hashPath(hash), frame); err != nil {
+		return err
+	}
+	d.lcTouchPut(hash, int64(len(frame)))
+	return nil
 }
 
 // Stat describes the entry under key without reading its payload: only
@@ -296,15 +353,62 @@ func (d *Disk) List() ([]Info, error) {
 	return infos, nil
 }
 
+// ListEach streams every plausible entry to fn without materializing
+// the listing or reading payloads: per entry only the frame header is
+// parsed (same discipline as Stat) and the file size checked against the
+// declared payload length, so a million-entry store costs one header
+// read per entry, not a resident []Info of full-file reads. Damaged or
+// foreign files are skipped; an error from fn stops the walk and is
+// returned as-is.
+func (d *Disk) ListEach(fn func(Info) error) error {
+	dirents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	buf := make([]byte, 4096)
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".run") {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		f, err := os.Open(filepath.Join(d.dir, name))
+		if err != nil {
+			continue
+		}
+		n, rerr := io.ReadFull(f, buf)
+		f.Close()
+		if rerr != nil && rerr != io.ErrUnexpectedEOF {
+			continue
+		}
+		key, payLen, headerLen, err := parseFrameHeader(buf[:n])
+		if err != nil || Hash(key)+".run" != name {
+			continue
+		}
+		if uint64(fi.Size()) != uint64(headerLen)+payLen+sha256.Size {
+			continue
+		}
+		if err := fn(Info{Key: key, Size: int64(payLen), ModTime: fi.ModTime()}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Delete removes the entry under key.
 func (d *Disk) Delete(key string) error {
-	err := os.Remove(d.path(key))
+	hash := Hash(key)
+	err := os.Remove(d.hashPath(hash))
 	if os.IsNotExist(err) {
 		return ErrNotFound
 	}
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	d.lcForget(hash)
 	return nil
 }
 
@@ -332,7 +436,12 @@ func (d *Disk) Footprint() (entries int, bytes int64, err error) {
 // GetFrame returns the raw framed entry stored under a content hash —
 // the pracstored read path, which serves frames without knowing keys.
 func (d *Disk) GetFrame(hash string) ([]byte, time.Time, error) {
+	if a := fault.Fire(fault.StoreDiskEvict); a != nil && a.Kind == fault.Evict {
+		d.injectEvict(hash)
+	}
 	path := d.hashPath(hash)
+	d.lcPin(hash)
+	defer d.lcUnpin(hash)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -344,6 +453,7 @@ func (d *Disk) GetFrame(hash string) ([]byte, time.Time, error) {
 	if fi, err := os.Stat(path); err == nil {
 		mtime = fi.ModTime()
 	}
+	d.lcTouchGet(hash)
 	return data, mtime, nil
 }
 
@@ -365,7 +475,13 @@ func (d *Disk) PutFrame(hash string, frame []byte) (key string, payloadLen int, 
 	if Hash(key) != hash {
 		return "", 0, fmt.Errorf("%w: frame key hashes to %s, not the addressed %s", ErrBadFrame, Hash(key), hash)
 	}
-	return key, len(payload), d.writeAtomic(d.hashPath(hash), frame)
+	d.lcPin(hash)
+	defer d.lcUnpin(hash)
+	if err := d.writeAtomic(d.hashPath(hash), frame); err != nil {
+		return "", 0, err
+	}
+	d.lcTouchPut(hash, int64(len(frame)))
+	return key, len(payload), nil
 }
 
 // DeleteFrame removes the entry under a content hash.
@@ -377,6 +493,7 @@ func (d *Disk) DeleteFrame(hash string) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	d.lcForget(hash)
 	return nil
 }
 

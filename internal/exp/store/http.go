@@ -434,6 +434,49 @@ func (h *HTTP) List() ([]Info, error) {
 	return infos, nil
 }
 
+// ListEach streams the server's listing entry by entry, decoding the
+// JSON array tokenwise so a million-entry listing never materializes
+// client-side. Once any entry has been delivered to fn the operation
+// will not retry — a replay would hand the caller duplicates — so a
+// mid-stream transport cut surfaces as an error instead.
+func (h *HTTP) ListEach(fn func(Info) error) error {
+	delivered := false
+	return h.run("list", func(ctx context.Context) error {
+		resp, _, err := h.do(ctx, http.MethodGet, h.base+"/v1/list", nil, "", fault.StoreHTTPGet)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return h.statusErr(resp, "list")
+		}
+		defer resp.Body.Close()
+		noRetry := func(err error) error {
+			h.errs.Add(1)
+			if delivered {
+				return retry.Permanent(err)
+			}
+			return err
+		}
+		dec := json.NewDecoder(io.LimitReader(resp.Body, MaxEntryBytes))
+		if tok, err := dec.Token(); err != nil {
+			return noRetry(fmt.Errorf("store: decoding list from %s: %w", h.base, err))
+		} else if delim, ok := tok.(json.Delim); !ok || delim != '[' {
+			return noRetry(fmt.Errorf("store: decoding list from %s: expected array, got %v", h.base, tok))
+		}
+		for dec.More() {
+			var info Info
+			if err := dec.Decode(&info); err != nil {
+				return noRetry(fmt.Errorf("store: decoding list from %s: %w", h.base, err))
+			}
+			delivered = true
+			if err := fn(info); err != nil {
+				return retry.Permanent(err)
+			}
+		}
+		return nil
+	})
+}
+
 // Delete removes the entry under key on the server.
 func (h *HTTP) Delete(key string) error {
 	return h.run("delete", func(ctx context.Context) error {

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreEvictionSweep measures the write path under sustained
+// eviction pressure: every put of a fresh key lands over budget, so the
+// background sweep continuously selects and evicts LRU entries while
+// puts keep arriving — the steady state of a long campaign against a
+// bounded store.
+func BenchmarkStoreEvictionSweep(b *testing.B) {
+	d, err := OpenDiskWith(b.TempDir(), DiskOptions{BudgetBytes: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Put(fmt.Sprintf("pracsim/run/v3/evict-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d.WaitSweeps()
+	if ev := d.EvictionStats(); b.N > 64 && ev.Evicted == 0 {
+		b.Fatal("budget pressure never evicted anything")
+	}
+}
+
+// BenchmarkStoreEvictionSweepUnderBudget measures a sweep of a warm
+// store sitting under its budget — the early-exit path every
+// maintenance pass and SweepNow pays when there is nothing to do.
+func BenchmarkStoreEvictionSweepUnderBudget(b *testing.B) {
+	d, err := OpenDiskWith(b.TempDir(), DiskOptions{BudgetBytes: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	for i := 0; i < 64; i++ {
+		if err := d.Put(fmt.Sprintf("pracsim/run/v3/warm-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.SweepNow()
+	}
+}
+
+// BenchmarkStoreEvictionDisabledGet is the warm-get path with no budget
+// configured — the baseline TestEvictionDisabledOverheadGuard holds the
+// lifecycle hooks against.
+func BenchmarkStoreEvictionDisabledGet(b *testing.B) {
+	d, err := OpenDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	for i := 0; i < 64; i++ {
+		if err := d.Put(fmt.Sprintf("pracsim/run/v3/base-%d", i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Get(fmt.Sprintf("pracsim/run/v3/base-%d", i%64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEvictionDisabledOverheadGuard is the CI guard for the acceptance
+// criterion that a budget-less store pays nothing for the lifecycle
+// layer: the hooks on the warm-get path (pin, unpin, touch) must cost
+// no more than a few nanoseconds — one nil check each — and zero
+// allocations. A regression to unconditional locking or map traffic
+// lands orders of magnitude above the 50ns bound.
+func TestEvictionDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark guard skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the ns/op budget; CI runs this guard in a non-race step")
+	}
+	d, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := Hash("pracsim/run/v3/guard")
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d.lcPin(hash)
+			d.lcTouchGet(hash)
+			d.lcUnpin(hash)
+		}
+	})
+	if ns := res.NsPerOp(); ns > 50 {
+		t.Fatalf("disabled lifecycle hooks cost %dns/op, want <=50ns", ns)
+	}
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("disabled lifecycle hooks allocate %d/op, want 0", allocs)
+	}
+}

@@ -39,15 +39,14 @@ type InfoReport struct {
 	Schemas        []SchemaFootprint
 }
 
-// Collect lists a backend and aggregates the maintenance summary.
+// Collect walks a backend and aggregates the maintenance summary. The
+// walk streams (ListEach) and the aggregation is incremental, so
+// summarizing a million-entry store holds one Info plus the per-schema
+// totals in memory, never the full listing.
 func Collect(b Backend) (InfoReport, error) {
-	infos, err := b.List()
-	if err != nil {
-		return InfoReport{}, err
-	}
 	rep := InfoReport{Spec: b.Spec()}
 	bySchema := map[string]*SchemaFootprint{}
-	for _, info := range infos {
+	err := ListEach(b, func(info Info) error {
 		rep.Entries++
 		rep.Bytes += info.Size
 		if rep.Oldest.IsZero() || info.ModTime.Before(rep.Oldest) {
@@ -64,12 +63,47 @@ func Collect(b Backend) (InfoReport, error) {
 		}
 		fp.Entries++
 		fp.Bytes += info.Size
+		return nil
+	})
+	if err != nil {
+		return InfoReport{}, err
 	}
 	for _, fp := range bySchema {
 		rep.Schemas = append(rep.Schemas, *fp)
 	}
 	sort.Slice(rep.Schemas, func(i, j int) bool { return rep.Schemas[i].Schema < rep.Schemas[j].Schema })
 	return rep, nil
+}
+
+// ParseByteSize parses the human-readable sizes the -store-budget /
+// -budget flags accept: a plain integer is bytes, and K/KB/M/MB/G/GB
+// suffixes (case-insensitive, 1024-based) scale it. "0" or "" disables
+// whatever the size configures.
+func ParseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	for _, suf := range []struct {
+		tag string
+		m   int64
+	}{{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1}} {
+		if strings.HasSuffix(upper, suf.tag) {
+			mult = suf.m
+			s = strings.TrimSpace(s[:len(s)-len(suf.tag)])
+			break
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("store: invalid size %q (want e.g. 1048576, 512MB, 2GB)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("store: size %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 func kb(n int64) string {
@@ -110,20 +144,17 @@ func (r InfoReport) Render() string {
 // mid-prune (a concurrent prune, a remote eviction) are counted as
 // already gone, not failures.
 func Prune(b Backend, current string) (pruned int, bytes int64, err error) {
-	infos, err := b.List()
-	if err != nil {
-		return 0, 0, err
-	}
-	for _, info := range infos {
+	err = ListEach(b, func(info Info) error {
 		schema := KeySchema(info.Key)
 		if schema == "?" || schema == current {
-			continue
+			return nil
 		}
 		if derr := b.Delete(info.Key); derr != nil && derr != ErrNotFound {
-			return pruned, bytes, derr
+			return derr
 		}
 		pruned++
 		bytes += info.Size
-	}
-	return pruned, bytes, nil
+		return nil
+	})
+	return pruned, bytes, err
 }

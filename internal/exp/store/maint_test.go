@@ -135,3 +135,31 @@ func TestMaintenanceOverTiered(t *testing.T) {
 		t.Errorf("pruned entry survives in the local tier: %v", err)
 	}
 }
+
+// TestParseByteSize pins the -store-budget / -budget flag grammar.
+func TestParseByteSize(t *testing.T) {
+	good := map[string]int64{
+		"":        0,
+		"0":       0,
+		"1048576": 1 << 20,
+		"512B":    512,
+		"4K":      4 << 10,
+		"4KB":     4 << 10,
+		"512MB":   512 << 20,
+		"512mb":   512 << 20,
+		"2G":      2 << 30,
+		"2GB":     2 << 30,
+		" 64 MB ": 64 << 20,
+	}
+	for in, want := range good {
+		got, err := store.ParseByteSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseByteSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"-1", "-4KB", "twelve", "12TB", "9999999999999GB", "MB"} {
+		if got, err := store.ParseByteSize(in); err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want error", in, got)
+		}
+	}
+}

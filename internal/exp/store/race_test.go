@@ -1,0 +1,7 @@
+//go:build race
+
+package store
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing guards skip under it (CI runs them in a non-race step).
+const raceEnabled = true

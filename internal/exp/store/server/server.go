@@ -261,17 +261,32 @@ func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(store.Info{Key: key, Size: int64(len(payload)), ModTime: mtime})
 }
 
+// handleList streams the listing as one JSON array, entry by entry, so
+// a million-entry store is never materialized server-side. A walk
+// failure after the first byte has left cannot become a 500; it
+// truncates the array, which the client's decode rejects.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	infos, err := s.disk.List()
-	if err != nil {
+	wrote := false
+	enc := json.NewEncoder(w)
+	err := store.ListEach(s.disk, func(info store.Info) error {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, "[")
+			wrote = true
+		} else {
+			io.WriteString(w, ",")
+		}
+		return enc.Encode(info)
+	})
+	if err != nil && !wrote {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	if infos == nil {
-		infos = []store.Info{}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "[")
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(infos)
+	io.WriteString(w, "]\n")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -303,5 +318,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if entries, bytes, err := s.disk.Footprint(); err == nil {
 		gauge("pracstored_entries", "Entry files in the store.", float64(entries))
 		gauge("pracstored_store_bytes", "Entry file bytes in the store.", float64(bytes))
+	}
+	// Lifecycle metrics are emitted whenever a budget is set (so a scraper
+	// sees the gauge move toward the limit), and whenever anything was
+	// evicted even without one (injected evictions).
+	if ev := s.disk.EvictionStats(); ev.Budget > 0 || ev.Evicted > 0 {
+		counter("pracstored_evicted_total", "Entries evicted by the store budget or injected evictions.", ev.Evicted)
+		counter("pracstored_evicted_bytes_total", "Entry file bytes reclaimed by eviction.", ev.EvictedBytes)
+		counter("pracstored_eviction_sweeps_total", "Eviction sweeps that ran.", ev.Sweeps)
+		gauge("pracstored_store_budget_bytes", "Configured store budget (0 = unbounded).", float64(ev.Budget))
 	}
 }

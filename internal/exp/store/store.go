@@ -56,6 +56,9 @@ type Stats struct {
 	// WritesDropped counts Puts the front discarded after the backing
 	// storage reported itself full (see Store.Put's degrade contract).
 	WritesDropped int64
+	// Eviction is the disk tier's budget/eviction snapshot (zero when no
+	// budget is configured).
+	Eviction EvictionStats
 	// Remote is the remote leg's wire traffic (zero for local-only
 	// backends). Remote.Errors counts transport failures and corrupt
 	// responses — every one degraded to a miss or a skipped write.
@@ -144,13 +147,35 @@ func ResolveBackend(mode string) (st *Store, warning string, err error) {
 // for the remote leg — how -store-timeout and -store-retries reach the
 // client.
 func ResolveBackendWith(mode string, opts HTTPOptions) (st *Store, warning string, err error) {
+	return Resolve(mode, Options{HTTP: opts})
+}
+
+// Options combines the per-tier tuning a CLI's -store-* flags select:
+// the disk options apply to whichever disk tier the mode resolves to
+// ("auto", an explicit directory, or the local read-through cache under
+// a remote), the HTTP options to the remote leg.
+type Options struct {
+	Disk DiskOptions
+	HTTP HTTPOptions
+}
+
+// Resolve is ResolveBackend with the full option surface — how
+// -store-budget, -store-timeout and -store-retries reach the backends.
+func Resolve(mode string, opts Options) (st *Store, warning string, err error) {
+	openDisk := func(dir string) (*Store, error) {
+		d, err := OpenDiskWith(dir, opts.Disk)
+		if err != nil {
+			return nil, err
+		}
+		return NewStore(d), nil
+	}
 	switch mode {
 	case "off", "none", "":
 		return nil, "", nil
 	case "auto":
 		dir, derr := DefaultDir()
 		if derr == nil {
-			if st, err = Open(dir); err == nil {
+			if st, err = openDisk(dir); err == nil {
 				return st, "", nil
 			}
 			derr = err
@@ -158,7 +183,7 @@ func ResolveBackendWith(mode string, opts HTTPOptions) (st *Store, warning strin
 		return nil, fmt.Sprintf("run store disabled (%v); pass -store DIR to persist runs", derr), nil
 	}
 	if IsRemoteSpec(mode) {
-		remote, err := OpenHTTPWith(mode, opts)
+		remote, err := OpenHTTPWith(mode, opts.HTTP)
 		if err != nil {
 			return nil, "", err
 		}
@@ -166,7 +191,7 @@ func ResolveBackendWith(mode string, opts HTTPOptions) (st *Store, warning strin
 		if derr == nil {
 			// Each remote gets its own cache directory, so two servers
 			// (or a server and a plain "auto" store) never mix entries.
-			local, oerr := OpenDisk(filepath.Join(dir, "remote-"+Hash(remote.Spec())[:16]))
+			local, oerr := OpenDiskWith(filepath.Join(dir, "remote-"+Hash(remote.Spec())[:16]), opts.Disk)
 			if oerr == nil {
 				return NewStore(NewTiered(local, remote)), "", nil
 			}
@@ -175,7 +200,7 @@ func ResolveBackendWith(mode string, opts HTTPOptions) (st *Store, warning strin
 		return NewStore(remote),
 			fmt.Sprintf("remote store %s: local read-through cache disabled (%v)", remote.Spec(), derr), nil
 	}
-	st, err = Open(mode)
+	st, err = openDisk(mode)
 	return st, "", err
 }
 
@@ -204,6 +229,17 @@ func (st Stats) Report(spec string) string {
 	if st.TmpSwept > 0 {
 		out += fmt.Sprintf("; swept %d orphaned temp files", st.TmpSwept)
 	}
+	if ev := st.Eviction; ev.Budget > 0 {
+		out += fmt.Sprintf("; budget %.1f/%.1f MB",
+			float64(ev.Footprint)/(1<<20), float64(ev.Budget)/(1<<20))
+		if ev.Evicted > 0 {
+			out += fmt.Sprintf(", evicted %d entries (%.1f MB) in %d sweeps",
+				ev.Evicted, float64(ev.EvictedBytes)/(1<<20), ev.Sweeps)
+		}
+	} else if ev.Evicted > 0 {
+		// Budget-less but non-zero: injected evictions (chaos schedules).
+		out += fmt.Sprintf("; evicted %d entries (injected)", ev.Evicted)
+	}
 	if st.WritesDropped > 0 {
 		out += fmt.Sprintf("; store full, %d writes dropped", st.WritesDropped)
 	}
@@ -229,6 +265,9 @@ func (s *Store) Stats() Stats {
 	if t, ok := s.b.(tmpSweeper); ok {
 		st.TmpSwept = t.TmpSwept()
 	}
+	if e, ok := s.b.(evictionStatser); ok {
+		st.Eviction = e.EvictionStats()
+	}
 	return st
 }
 
@@ -242,6 +281,12 @@ type quarantiner interface {
 // orphaned temp files at open (Disk itself, Tiered by delegation).
 type tmpSweeper interface {
 	TmpSwept() int64
+}
+
+// evictionStatser is implemented by backends with a budgeted disk tier
+// (Disk itself, Tiered by delegation).
+type evictionStatser interface {
+	EvictionStats() EvictionStats
 }
 
 // Hash is the content address of a key: SHA-256 over the key string. The

@@ -610,7 +610,7 @@ func TestOpenSweepsOrphanedTmpFiles(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	past := time.Now().Add(-2 * tmpSweepAge)
+	past := time.Now().Add(-2 * DefaultTmpSweepAge)
 	if err := os.Chtimes(stale, past, past); err != nil {
 		t.Fatal(err)
 	}
@@ -654,7 +654,7 @@ func TestTieredReportsLocalTmpSweep(t *testing.T) {
 	if err := os.WriteFile(stale, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	past := time.Now().Add(-2 * tmpSweepAge)
+	past := time.Now().Add(-2 * DefaultTmpSweepAge)
 	if err := os.Chtimes(stale, past, past); err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,16 @@ func (t *Tiered) TmpSwept() int64 {
 	return 0
 }
 
+// EvictionStats reports the local tier's budget/eviction snapshot: the
+// budget governs this machine's cache, not the authoritative remote
+// (which accounts for its own disk in its own process).
+func (t *Tiered) EvictionStats() EvictionStats {
+	if e, ok := t.local.(evictionStatser); ok {
+		return e.EvictionStats()
+	}
+	return EvictionStats{}
+}
+
 // Get serves the local tier first; a local miss falls through to the
 // remote, and a remote hit back-fills the local tier (best-effort) so
 // the next Get stays off the network. A remote failure is the remote's
@@ -106,6 +116,34 @@ func (t *Tiered) List() ([]Info, error) {
 		}
 	}
 	return infos, nil
+}
+
+// ListEach streams the authoritative remote's entries, then the
+// local-only extras — the streaming twin of List, with the same
+// tolerance for an unlistable local tier.
+func (t *Tiered) ListEach(fn func(Info) error) error {
+	seen := make(map[string]bool)
+	if err := ListEach(t.remote, func(info Info) error {
+		seen[info.Key] = true
+		return fn(info)
+	}); err != nil {
+		return err
+	}
+	var fnErr error
+	// The local tier is a plain cache on this machine; if it cannot even
+	// be walked, the remote walk still stands — but an error from fn
+	// itself must surface.
+	_ = ListEach(t.local, func(info Info) error {
+		if seen[info.Key] {
+			return nil
+		}
+		if err := fn(info); err != nil {
+			fnErr = err
+			return err
+		}
+		return nil
+	})
+	return fnErr
 }
 
 // Delete removes the entry from both tiers: pruning a stale schema

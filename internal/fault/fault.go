@@ -57,6 +57,12 @@ const (
 	// StoreDiskPut fires in the disk backend's atomic write: err,
 	// enospc, short.
 	StoreDiskPut = "store.disk.put"
+	// StoreDiskEvict fires in the disk backend's read paths: evict
+	// (the entry is evicted before it is served, so the read degrades to
+	// a miss — never an error). Chaos schedules use it to fire eviction
+	// storms mid-session without needing a store that actually overflows
+	// its budget.
+	StoreDiskEvict = "store.disk.evict"
 	// StoreHTTPGet fires in the store client's read-side requests
 	// (GET/stat/list): err (transport failure), timeout, http500, trunc
 	// (truncated response body), corrupt (bit-flipped response body).
@@ -106,10 +112,11 @@ const (
 	Kill    Kind = "kill"    // SIGKILL the worker process
 	Delay   Kind = "delay"   // sleep the duration operand
 	Torn    Kind = "torn"    // leave a torn partial write behind (journal)
+	Evict   Kind = "evict"   // evict the store entry being read (degrades to a miss)
 )
 
 var knownPoints = map[string]bool{
-	StoreDiskGet: true, StoreDiskPut: true,
+	StoreDiskGet: true, StoreDiskPut: true, StoreDiskEvict: true,
 	StoreHTTPGet: true, StoreHTTPPut: true,
 	ServerGet: true, ServerPut: true,
 	ShardRead: true, ShardWrite: true,
@@ -120,6 +127,7 @@ var knownPoints = map[string]bool{
 var knownKinds = map[Kind]bool{
 	Err: true, Timeout: true, HTTP500: true, Trunc: true, Corrupt: true,
 	ENOSPC: true, Short: true, Kill: true, Delay: true, Torn: true,
+	Evict: true,
 }
 
 // Points enumerates every failpoint, for docs and usage errors.

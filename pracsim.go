@@ -184,11 +184,21 @@ type (
 	StoreServerOptions = storeserver.Options
 	// StoreInfoReport is the maintenance summary (tpracsim -store-info).
 	StoreInfoReport = store.InfoReport
+	// DiskStoreOptions tunes the disk backend's lifecycle: the eviction
+	// disk budget and the orphaned-temp-file sweep threshold.
+	DiskStoreOptions = store.DiskOptions
+	// StoreOptions combines per-tier tuning for ResolveRunStoreFull:
+	// disk lifecycle options plus the remote failure policy.
+	StoreOptions = store.Options
+	// StoreEvictionStats snapshots the budget/eviction counters
+	// (footprint, evicted entries and bytes, sweeps).
+	StoreEvictionStats = store.EvictionStats
 	// ShardSpec selects one deterministic shard of a partitioned grid.
 	ShardSpec = shard.Spec
 	// DispatchOptions configures a shard-dispatch fleet run: worker
-	// count, command (re-exec or sh -c fleet template), per-shard
-	// attempt budget and straggler policy.
+	// count (fixed, or elastic between MinWorkers/MaxWorkers), command
+	// (re-exec or sh -c fleet template), per-shard attempt budget and
+	// straggler policy (journal-resumed steal or speculative backup).
 	DispatchOptions = dispatch.Options
 	// DispatchResult is a converged dispatch: one validated shard file
 	// per shard plus per-shard reports (slot, attempts, runs, wall,
@@ -225,6 +235,9 @@ var (
 	NewRunStore = store.NewStore
 	// OpenDiskStore opens the local-directory backend.
 	OpenDiskStore = store.OpenDisk
+	// OpenDiskStoreWith opens the disk backend with lifecycle options
+	// (eviction budget, temp-sweep age).
+	OpenDiskStoreWith = store.OpenDiskWith
 	// OpenHTTPStore opens a pracstored client backend for a base URL.
 	OpenHTTPStore = store.OpenHTTP
 	// NewTieredStore layers a local cache backend over a remote one.
@@ -235,6 +248,15 @@ var (
 	// ResolveRunStoreWith is ResolveRunStore with an explicit remote
 	// failure policy (timeouts, retries, breaker cooldown).
 	ResolveRunStoreWith = store.ResolveBackendWith
+	// ResolveRunStoreFull is ResolveRunStore with the full option
+	// surface — disk lifecycle (eviction budget) plus remote policy.
+	ResolveRunStoreFull = store.Resolve
+	// ParseByteSize parses human-readable sizes ("512MB", "2GB") for
+	// the -store-budget / -budget flags.
+	ParseByteSize = store.ParseByteSize
+	// ListStoreEntries streams a backend's entries without
+	// materializing the full listing (million-entry-store maintenance).
+	ListStoreEntries = store.ListEach
 	// OpenHTTPStoreWith opens a pracstored client with an explicit
 	// failure policy.
 	OpenHTTPStoreWith = store.OpenHTTPWith
