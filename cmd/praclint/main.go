@@ -1,0 +1,21 @@
+// Command praclint runs the project-invariant static-analysis suite:
+// determinism, failpoint coverage, degrade-to-miss, and lock hygiene.
+// See internal/lint for the contracts it enforces.
+//
+// Usage:
+//
+//	go run ./cmd/praclint ./...
+//	go run ./cmd/praclint -json -disable locks ./internal/exp/...
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"os"
+
+	"pracsim/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -335,6 +335,7 @@ func Run(opts Options) (*Result, error) {
 	createdDir := false
 	if dir == "" {
 		var err error
+		//praclint:allow failpoint workdir creation happens before any attempt starts; chaos schedules target the attempt/store/journal I/O, and a setup failure here already fails the whole Run loudly
 		if dir, err = os.MkdirTemp("", "pracsim-dispatch-"); err != nil {
 			return nil, fmt.Errorf("dispatch: %w", err)
 		}
@@ -528,6 +529,7 @@ func Run(opts Options) (*Result, error) {
 			st.running = removeAttempt(st.running, ev.a)
 			if st.done {
 				// Loser of a backup race; its file (if any) is redundant.
+				//praclint:allow failpoint best-effort cleanup of a redundant attempt file; a failure leaves garbage in a throwaway dir, never wrong results
 				os.Remove(ev.a.out)
 				continue
 			}
@@ -553,6 +555,7 @@ func Run(opts Options) (*Result, error) {
 				// backoff — requeue immediately, and the replacement
 				// resumes from the shard's worker journal on a fresh slot.
 				st.stealing = false
+				//praclint:allow failpoint best-effort cleanup of a killed attempt's partial file; the requeued attempt writes a fresh one regardless
 				os.Remove(ev.a.out)
 				d.logf("dispatch: shard %s stolen from slot %d — requeued", st.sp, ev.a.slot)
 				pending = append(pending, pendingShard{index: st.sp.Index})
@@ -566,6 +569,7 @@ func Run(opts Options) (*Result, error) {
 				cancelAll()
 				sweepAttempts(states)
 				if createdDir {
+					//praclint:allow failpoint teardown of the temp workdir on the failure path; nothing downstream reads it
 					defer os.RemoveAll(dir)
 				}
 				return nil, fmt.Errorf("dispatch: shard %s failed after %d attempt(s): %w\nworker stderr (last lines):\n%s",
@@ -673,6 +677,7 @@ func (d *dispatcher) finish(st *shardState, a *attempt, runs int) {
 		sib.cancel()
 	}
 	final := filepath.Join(d.dir, fmt.Sprintf("shard-%d-of-%d.runs", st.sp.Index, st.sp.Count))
+	//praclint:allow failpoint publish rename already degrades to the attempt file on failure (below); injecting here would exercise no path a real failure doesn't
 	if err := os.Rename(a.out, final); err != nil {
 		// Same-directory rename failing is exotic; the attempt file is
 		// just as valid, so fall back to it rather than failing a
@@ -864,9 +869,12 @@ func sweepAttempts(states []*shardState) {
 	for _, st := range states {
 		for _, a := range st.running {
 			a.cancel()
+			//praclint:allow failpoint best-effort teardown sweep; failures leave stale temp files in a throwaway dir
 			os.Remove(a.out)
+			//praclint:allow failpoint best-effort teardown sweep; failures leave stale temp files in a throwaway dir
 			if tmps, err := filepath.Glob(a.out + ".tmp*"); err == nil {
 				for _, t := range tmps {
+					//praclint:allow failpoint best-effort teardown sweep; failures leave stale temp files in a throwaway dir
 					os.Remove(t)
 				}
 			}

@@ -153,6 +153,7 @@ func OpenDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
+	//praclint:allow failpoint open-time setup; chaos schedules target the live get/put/evict paths, and a setup failure fails Open loudly
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -174,16 +175,19 @@ func OpenDiskWith(dir string, opts DiskOptions) (*Disk, error) {
 // for. Age-gated (tmpSweepAge) and best-effort: a sweep failure costs
 // disk space, never correctness.
 func (d *Disk) sweepTmp() {
+	//praclint:allow failpoint best-effort debris sweep; a failure costs disk space, never correctness
 	tmps, err := filepath.Glob(filepath.Join(d.dir, "put-*.tmp"))
 	if err != nil {
 		return
 	}
 	cutoff := time.Now().Add(-d.tmpAge)
 	for _, path := range tmps {
+		//praclint:allow failpoint best-effort debris sweep; a failure costs disk space, never correctness
 		fi, err := os.Stat(path)
 		if err != nil || fi.ModTime().After(cutoff) {
 			continue
 		}
+		//praclint:allow failpoint best-effort debris sweep; a failure costs disk space, never correctness
 		if os.Remove(path) == nil {
 			d.tmpSwept.Add(1)
 		}
@@ -290,6 +294,7 @@ func (d *Disk) Put(key string, payload []byte) error {
 // checksum is Get's job — Stat answers "is a plausible entry there and
 // how big is it", which is what Stat-before-Put and maintenance need.
 func (d *Disk) Stat(key string) (Info, error) {
+	//praclint:allow failpoint maintenance surface, not on any hot path; a Stat error degrades to a Put retry, never to wrong data
 	f, err := os.Open(d.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -298,6 +303,7 @@ func (d *Disk) Stat(key string) (Info, error) {
 		return Info{}, fmt.Errorf("store: %w", err)
 	}
 	defer f.Close()
+	//praclint:allow failpoint maintenance surface; see the Open note above
 	fi, err := f.Stat()
 	if err != nil {
 		return Info{}, fmt.Errorf("store: %w", err)
@@ -326,6 +332,7 @@ func (d *Disk) Stat(key string) (Info, error) {
 // entries or fail validation are skipped: the maintenance surface must
 // work on damaged stores.
 func (d *Disk) List() ([]Info, error) {
+	//praclint:allow failpoint maintenance enumeration, tolerant of damage by design; failures skip entries rather than corrupt results
 	dirents, err := os.ReadDir(d.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -336,6 +343,7 @@ func (d *Disk) List() ([]Info, error) {
 		if de.IsDir() || !strings.HasSuffix(name, ".run") {
 			continue
 		}
+		//praclint:allow failpoint maintenance enumeration; see the ReadDir note above
 		data, err := os.ReadFile(filepath.Join(d.dir, name))
 		if err != nil {
 			continue
@@ -361,6 +369,7 @@ func (d *Disk) List() ([]Info, error) {
 // foreign files are skipped; an error from fn stops the walk and is
 // returned as-is.
 func (d *Disk) ListEach(fn func(Info) error) error {
+	//praclint:allow failpoint maintenance enumeration; same contract as List
 	dirents, err := os.ReadDir(d.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -375,6 +384,7 @@ func (d *Disk) ListEach(fn func(Info) error) error {
 		if err != nil {
 			continue
 		}
+		//praclint:allow failpoint maintenance enumeration; same contract as List
 		f, err := os.Open(filepath.Join(d.dir, name))
 		if err != nil {
 			continue
@@ -401,6 +411,7 @@ func (d *Disk) ListEach(fn func(Info) error) error {
 // Delete removes the entry under key.
 func (d *Disk) Delete(key string) error {
 	hash := Hash(key)
+	//praclint:allow failpoint eviction deletes are exercised through the store.disk.evict failpoint on the sweep path; a direct Delete error surfaces to the caller unchanged
 	err := os.Remove(d.hashPath(hash))
 	if os.IsNotExist(err) {
 		return ErrNotFound
@@ -415,6 +426,7 @@ func (d *Disk) Delete(key string) error {
 // Footprint reports the directory's raw entry count and file bytes
 // without validating entries — cheap enough for a metrics scrape.
 func (d *Disk) Footprint() (entries int, bytes int64, err error) {
+	//praclint:allow failpoint metrics scrape; an error here feeds a gauge, never a result
 	dirents, err := os.ReadDir(d.dir)
 	if err != nil {
 		return 0, 0, fmt.Errorf("store: %w", err)
@@ -486,6 +498,7 @@ func (d *Disk) PutFrame(hash string, frame []byte) (key string, payloadLen int, 
 
 // DeleteFrame removes the entry under a content hash.
 func (d *Disk) DeleteFrame(hash string) error {
+	//praclint:allow failpoint same contract as Delete; the injected-eviction path fires store.disk.evict before reaching here
 	err := os.Remove(d.hashPath(hash))
 	if os.IsNotExist(err) {
 		return ErrNotFound

@@ -335,6 +335,7 @@ func (h *HTTP) Get(key string) ([]byte, error) {
 		payload, err = DecodeFrame(frame, key)
 		if err != nil {
 			h.errs.Add(1)
+			//praclint:allow degrade a corrupt remote copy is re-fetchable, not quarantinable from the client; the counting Store front classifies this error and degrades it to a miss
 			return retry.Permanent(err)
 		}
 		h.hits.Add(1)
@@ -342,6 +343,7 @@ func (h *HTTP) Get(key string) ([]byte, error) {
 		return nil
 	})
 	if err != nil {
+		//praclint:allow degrade propagates the closure's decode error; see the retry.Permanent note above — the Store front degrades it to a miss
 		return nil, err
 	}
 	return payload, nil

@@ -29,6 +29,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -136,6 +137,7 @@ func Points() []string {
 	for p := range knownPoints {
 		pts = append(pts, p)
 	}
+	sort.Strings(pts) // stable order for help text and error messages
 	return pts
 }
 

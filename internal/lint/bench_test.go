@@ -1,0 +1,19 @@
+package lint
+
+import "testing"
+
+// BenchmarkPraclintRepo measures a full praclint pass over the repo —
+// load, type-check and all four analyzers. CI runs it at -benchtime=1x
+// and records the wall time in the bench-delta artifact, so a praclint
+// slowdown shows up next to the engine and store numbers.
+func BenchmarkPraclintRepo(b *testing.B) {
+	for b.Loop() {
+		findings, err := Run("../..", []string{"./..."}, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) != 0 {
+			b.Fatalf("repo not clean: %v", findings)
+		}
+	}
+}

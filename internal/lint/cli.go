@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exit codes for Main.
+const (
+	ExitClean    = 0 // no findings
+	ExitFindings = 1 // at least one finding
+	ExitError    = 2 // usage or load/type-check failure
+)
+
+// Main is the praclint command driver, separated from cmd/praclint so
+// tests can run the full CLI in-process. args excludes the program name.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("praclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	enable := fs.String("enable", "", "comma-separated checks to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated checks to skip")
+	dir := fs.String("C", "", "run as if started in this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: praclint [flags] [packages]\n\nchecks: %s\n\nflags:\n",
+			strings.Join(Checks(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+
+	cfg := DefaultConfig()
+	known := map[string]bool{}
+	for _, c := range Checks() {
+		known[c] = true
+	}
+	var badCheck string
+	split := func(s string) []string {
+		var out []string
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				if !known[p] {
+					badCheck = p
+				}
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	cfg.Enable = split(*enable)
+	cfg.Disable = split(*disable)
+	if badCheck != "" {
+		fmt.Fprintf(stderr, "praclint: unknown check %q (known: %s)\n",
+			badCheck, strings.Join(Checks(), ", "))
+		return ExitError
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := Run(*dir, patterns, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return ExitError
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(stderr, "praclint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "praclint: %d finding(s)\n", len(findings))
+		}
+		return ExitFindings
+	}
+	return ExitClean
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// bannedTimeFuncs are the wall-clock and timer entry points the sim core
+// must not touch: simulated time is ticks.T, and a single stray
+// time.Now() turns a bit-identical CSV into a flaky one.
+var bannedTimeFuncs = set("Now", "Since", "Until", "After", "Tick",
+	"AfterFunc", "NewTimer", "NewTicker", "Sleep")
+
+// randConstructors are the math/rand entry points that take an explicit
+// seed or source — the only acceptable way to draw randomness in the
+// sim core. Everything else (Intn, Float64, Shuffle, ...) reads the
+// process-global source, which is seeded differently every run.
+var randConstructors = set("New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8")
+
+// sinkMethods are method names that emit, encode or schedule: feeding
+// them from a map range makes the output order nondeterministic.
+var sinkMethods = set("Write", "WriteString", "WriteByte", "WriteRune",
+	"WriteAll", "Encode", "Schedule", "AddTicker", "RescheduleTicker")
+
+// determinism enforces the sim-core purity contract: no wall clock
+// outside the telemetry allowlist, no global-source randomness, and no
+// map iteration feeding output, encoding or event scheduling.
+func determinism(prog *Program, idx *index, cfg Config) []Finding {
+	allow := map[string]bool{}
+	for _, a := range cfg.WallClockAllow {
+		allow[a] = true
+	}
+	var out []Finding
+	for _, pkg := range prog.Pkgs {
+		if !inScope(cfg.DeterminismScope, pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if isTestFile(prog.Fset, file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fnObj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				allowed := fnObj != nil && allow[canonFunc(fnObj)]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						out = append(out, checkDetCall(prog, pkg, n, allowed)...)
+					case *ast.RangeStmt:
+						out = append(out, checkMapRange(prog, pkg, n)...)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}
+
+// checkDetCall flags banned wall-clock and global-randomness calls.
+func checkDetCall(prog *Program, pkg *Package, call *ast.CallExpr, wallAllowed bool) []Finding {
+	fn := callee(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		return nil // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if bannedTimeFuncs[fn.Name()] && !wallAllowed {
+			return []Finding{finding(prog.Fset, call.Pos(), CheckDeterminism,
+				"wall-clock call time.%s in the sim core; simulated time is ticks.T — route telemetry through the wall-clock allowlist", fn.Name())}
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			return []Finding{finding(prog.Fset, call.Pos(), CheckDeterminism,
+				"global-source randomness rand.%s in the sim core; draw from a seeded rand.New(rand.NewSource(seed)) instead", fn.Name())}
+		}
+	}
+	return nil
+}
+
+// checkMapRange flags `range` over a map whose body feeds a
+// nondeterministically-ordered stream into output, encoding or event
+// scheduling. Sorting the keys first (and ranging the sorted slice)
+// clears the finding.
+func checkMapRange(prog *Program, pkg *Package, rng *ast.RangeStmt) []Finding {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if what, ok := detSink(pkg.Info, call); ok {
+			out = append(out, finding(prog.Fset, rng.Pos(), CheckDeterminism,
+				"map iteration feeds %s — map order is nondeterministic; iterate a sorted key slice instead", what))
+			return false // one finding per map range is enough
+		}
+		return true
+	})
+	return out
+}
+
+// detSink classifies a call as an ordered output/encoding/scheduling
+// sink.
+func detSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := callee(info, call)
+	if fn == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sinkMethods[fn.Name()] {
+			return canonType(sig.Recv().Type()) + "." + fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		// Every formatter except Scan*: printing, string building and
+		// error construction all freeze an ordering.
+		switch name := fn.Name(); {
+		case len(name) >= 5 && name[:5] == "Print",
+			len(name) >= 6 && (name[:6] == "Fprint" || name[:6] == "Sprint"),
+			name == "Errorf", name == "Appendf", name == "Append", name == "Appendln":
+			return "fmt." + fn.Name(), true
+		}
+	case "encoding/json":
+		if fn.Name() == "Marshal" || fn.Name() == "MarshalIndent" {
+			return "json." + fn.Name(), true
+		}
+	}
+	return "", false
+}

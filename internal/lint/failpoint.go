@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"sort"
+	"strings"
+)
+
+// failpoint enforces the chaos-coverage contract:
+//
+//  1. Registry: a constant point name passed to fault.Fire, and every
+//     point named in a constant schedule passed to fault.Parse, must
+//     exist in the fault package's registry — a typo'd name would draw
+//     nothing and quietly turn a chaos run green.
+//  2. Coverage: every direct I/O call in the pipeline packages must be
+//     reachable through a function that fires a failpoint, so a fault
+//     schedule can actually interpose on that I/O.
+func failpoint(prog *Program, idx *index, cfg Config) []Finding {
+	var out []Finding
+	registry, regFindings := extractRegistry(prog, cfg)
+	out = append(out, regFindings...)
+
+	idx.markFires(cfg.FireFuncs)
+
+	// Registry cross-check over every analyzed package.
+	if registry != nil {
+		fire := map[string]bool{}
+		for _, f := range cfg.FireFuncs {
+			fire[f] = true
+		}
+		sched := map[string]bool{}
+		for _, f := range cfg.ScheduleFuncs {
+			sched[f] = true
+		}
+		points := sortedKeys(registry)
+		for _, pkg := range prog.Pkgs {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					fn := callee(pkg.Info, call)
+					if fn == nil {
+						return true
+					}
+					name := canonFunc(fn)
+					arg, lit := call.Args[0], ""
+					if tv, ok := pkg.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						lit = constant.StringVal(tv.Value)
+					} else {
+						return true // dynamic argument; runtime Parse validates
+					}
+					switch {
+					case fire[name]:
+						if !registry[lit] {
+							out = append(out, finding(prog.Fset, arg.Pos(), CheckFailpoint,
+								"failpoint %q is not in the %s registry (known: %s) — this Fire can never match a schedule", lit, cfg.FaultPkg, points))
+						}
+					case sched[name]:
+						for _, p := range schedulePoints(lit) {
+							if !registry[p] {
+								out = append(out, finding(prog.Fset, arg.Pos(), CheckFailpoint,
+									"schedule names failpoint %q, not in the %s registry (known: %s) — the rule would silently never fire", p, cfg.FaultPkg, points))
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Coverage: direct I/O in pipeline packages must sit below a firing
+	// function on some call path.
+	covered := idx.reachableFromFires()
+	for _, pkg := range prog.Pkgs {
+		if !inScope(cfg.FailpointScope, pkg.Path) {
+			continue
+		}
+		var nodes []*funcNode
+		for _, node := range idx.funcs {
+			if node.pkg == pkg && len(node.io) > 0 && !covered[node.obj] {
+				nodes = append(nodes, node)
+			}
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].decl.Pos() < nodes[j].decl.Pos() })
+		for _, node := range nodes {
+			for _, io := range node.io {
+				out = append(out, finding(prog.Fset, io.pos, CheckFailpoint,
+					"direct I/O (%s) in %s is not reachable through any function that fires a fault failpoint — chaos schedules cannot interpose; wire a failpoint on this path or annotate why it is exempt", io.what, node.obj.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// extractRegistry reads the known-point set out of the fault package's
+// registry map literal (RegistryVar), resolving each key to its constant
+// string value. A missing registry is a meta finding: without it the
+// cross-check would pass everything vacuously.
+func extractRegistry(prog *Program, cfg Config) (map[string]bool, []Finding) {
+	if cfg.FaultPkg == "" {
+		return nil, nil
+	}
+	var faultPkg *Package
+	for _, pkg := range prog.Pkgs {
+		if pkg.Path == cfg.FaultPkg {
+			faultPkg = pkg
+			break
+		}
+	}
+	if faultPkg == nil {
+		return nil, []Finding{{Check: MetaCheck, File: cfg.FaultPkg,
+			Message: "fault registry package was not loaded; failpoint names cannot be cross-checked"}}
+	}
+	registry := map[string]bool{}
+	for _, file := range faultPkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			spec, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, name := range spec.Names {
+				if name.Name != cfg.RegistryVar || i >= len(spec.Values) {
+					continue
+				}
+				lit, ok := spec.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if tv, ok := faultPkg.Info.Types[kv.Key]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						registry[constant.StringVal(tv.Value)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(registry) == 0 {
+		return nil, []Finding{{Check: MetaCheck, File: cfg.FaultPkg,
+			Message: "no registry map " + cfg.RegistryVar + " found in the fault package; failpoint names cannot be cross-checked"}}
+	}
+	return registry, nil
+}
+
+// schedulePoints extracts the point names from a fault-schedule literal
+// (`seed=N;point:kind[=dur][@prob][xN];...`), mirroring fault.Parse's
+// grammar closely enough to name-check without importing it.
+func schedulePoints(spec string) []string {
+	var points []string
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" || strings.HasPrefix(part, "seed=") {
+			continue
+		}
+		if point, _, ok := strings.Cut(part, ":"); ok {
+			points = append(points, point)
+		}
+	}
+	return points
+}
+
+func sortedKeys(m map[string]bool) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

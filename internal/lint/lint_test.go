@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixPrefix is the import-path prefix of the fixture packages.
+const fixPrefix = "pracsim/internal/lint/testdata/src/"
+
+// expect is one `// want <check> "<regexp>"` annotation in a fixture.
+type expect struct {
+	file    string // base name
+	line    int
+	check   string
+	pattern *regexp.Regexp
+}
+
+var wantPairRe = regexp.MustCompile(`([A-Za-z][\w-]*)\s+"([^"]*)"`)
+
+// readWants collects the want annotations from every .go file under the
+// given fixture dirs. A line may carry several `check "regexp"` pairs
+// after one `// want` marker.
+func readWants(t *testing.T, dirs ...string) []expect {
+	t.Helper()
+	var wants []expect
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, de := range entries {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, de.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				idx := strings.Index(line, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pairs := wantPairRe.FindAllStringSubmatch(line[idx+len("// want "):], -1)
+				if len(pairs) == 0 {
+					t.Fatalf("%s:%d: unparsable want annotation: %s", de.Name(), i+1, line)
+				}
+				for _, p := range pairs {
+					re, err := regexp.Compile(p[2])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", de.Name(), i+1, p[2], err)
+					}
+					wants = append(wants, expect{file: de.Name(), line: i + 1, check: p[1], pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkFixture runs the analyzers over the fixture patterns and asserts
+// the findings match the want annotations exactly — every want matched,
+// no unexpected finding.
+func checkFixture(t *testing.T, cfg Config, patterns ...string) {
+	t.Helper()
+	var dirs []string
+	for _, p := range patterns {
+		dirs = append(dirs, filepath.FromSlash(p))
+	}
+	wants := readWants(t, dirs...)
+	findings, err := Run("", patterns, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if matched[i] || filepath.Base(f.File) != w.file || f.Line != w.line ||
+				f.Check != w.check || !w.pattern.MatchString(f.Message) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing finding: %s:%d [%s] matching %q", w.file, w.line, w.check, w.pattern)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkFixture(t, Config{
+		DeterminismScope: []string{fixPrefix + "det"},
+		WallClockAllow:   []string{fixPrefix + "det.Allowed"},
+	}, "./testdata/src/det")
+}
+
+func TestFailpointRegistryFixture(t *testing.T) {
+	cfg := DefaultConfig()
+	checkFixture(t, cfg, "./testdata/src/fpreg")
+}
+
+func TestFailpointCoverageFixture(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailpointScope = []string{fixPrefix + "fpio"}
+	checkFixture(t, cfg, "./testdata/src/fpio")
+}
+
+func TestDegradeFixture(t *testing.T) {
+	checkFixture(t, Config{
+		DegradeScope:   []string{fixPrefix + "degrade"},
+		BackendTypes:   []string{fixPrefix + "degrade.Backend"},
+		DecodeFuncs:    []string{fixPrefix + "degrade.decode"},
+		DegradeActions: []string{"quarantine"},
+	}, "./testdata/src/degrade", "./testdata/src/degradeclient")
+}
+
+func TestLocksFixture(t *testing.T) {
+	checkFixture(t, Config{
+		FireFuncs: []string{"pracsim/internal/fault.Fire"},
+	}, "./testdata/src/locks")
+}
+
+func TestAllowFixture(t *testing.T) {
+	checkFixture(t, Config{}, "./testdata/src/allowfix")
+}
+
+// TestSeededFixture proves every analyzer fires: the seeded fixture
+// carries one violation per check, and each must surface.
+func TestSeededFixture(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeterminismScope = []string{fixPrefix + "seeded"}
+	cfg.FailpointScope = []string{fixPrefix + "seeded"}
+	cfg.DegradeScope = []string{fixPrefix + "seeded"}
+	cfg.DecodeFuncs = []string{fixPrefix + "seeded.decode"}
+	checkFixture(t, cfg, "./testdata/src/seeded")
+
+	findings, err := Run("", []string{"./testdata/src/seeded"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCheck := map[string]int{}
+	for _, f := range findings {
+		byCheck[f.Check]++
+	}
+	for _, check := range Checks() {
+		if byCheck[check] == 0 {
+			t.Errorf("analyzer %q produced no finding on the seeded fixture; got %v", check, byCheck)
+		}
+	}
+}
+
+// TestCLISeeded runs the full CLI in-process on the seeded fixture: it
+// must exit 1 and, with -json, emit findings whose shape round-trips.
+func TestCLISeeded(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-json", "./testdata/src/seeded"}, &stdout, &stderr)
+	if code != ExitFindings {
+		t.Fatalf("exit = %d, want %d; stderr: %s", code, ExitFindings, stderr.String())
+	}
+	var findings []Finding
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json emitted an empty findings array for a dirty tree")
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Check == "" || f.Message == "" {
+			t.Errorf("finding with missing fields: %+v", f)
+		}
+		seen[f.Check] = true
+	}
+	// Under the project config only the scope-independent checks apply to
+	// the fixture: the registry cross-check and lock hygiene.
+	for _, check := range []string{CheckFailpoint, CheckLocks} {
+		if !seen[check] {
+			t.Errorf("expected a %s finding from the project config, got %v", check, seen)
+		}
+	}
+}
+
+func TestCLIDisable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := Main([]string{"-disable", "failpoint,locks", "./testdata/src/seeded"}, &stdout, &stderr)
+	if code != ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, ExitClean, stdout.String(), stderr.String())
+	}
+}
+
+func TestCLIEnable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	// Only the failpoint registry check applies under -enable failpoint.
+	if code := Main([]string{"-enable", "failpoint", "./testdata/src/seeded"}, &stdout, &stderr); code != ExitFindings {
+		t.Fatalf("-enable failpoint: exit = %d, want %d", code, ExitFindings)
+	}
+	if !strings.Contains(stdout.String(), "[failpoint]") || strings.Contains(stdout.String(), "[locks]") {
+		t.Fatalf("-enable failpoint emitted the wrong checks:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	// determinism's project scope does not cover the fixture: clean.
+	if code := Main([]string{"-enable", "determinism", "./testdata/src/seeded"}, &stdout, &stderr); code != ExitClean {
+		t.Fatalf("-enable determinism: exit = %d, want %d\n%s", code, ExitClean, stdout.String())
+	}
+}
+
+func TestCLIUnknownCheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"-enable", "speling", "./testdata/src/seeded"}, &stdout, &stderr); code != ExitError {
+		t.Fatalf("exit = %d, want %d", code, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "unknown check") {
+		t.Fatalf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestCLIBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := Main([]string{"./no/such/dir/..."}, &stdout, &stderr); code != ExitError {
+		t.Fatalf("exit = %d, want %d", code, ExitError)
+	}
+}
+
+// TestSuppressionJSONShape pins the JSON field names the CI artifact and
+// editor integrations key on.
+func TestSuppressionJSONShape(t *testing.T) {
+	f := Finding{Check: "locks", File: "x.go", Line: 3, Col: 7, Message: "m"}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"check":"locks","file":"x.go","line":3,"col":7,"message":"m"}`
+	if string(data) != want {
+		t.Fatalf("Finding JSON = %s, want %s", data, want)
+	}
+}
+
+// TestRepoIsClean is the acceptance gate: the project config over the
+// whole repo must produce zero findings. Skipped in -short runs — it
+// type-checks every package.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint is not short")
+	}
+	findings, err := Run("../..", []string{"./..."}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo finding: %s", f)
+	}
+}

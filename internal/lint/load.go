@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded target set sharing one FileSet.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+}
+
+// listedPkg is the subset of `go list -json` praclint needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// Load resolves patterns with `go list -deps -export` (so every
+// dependency carries compiled export data), parses the matched packages'
+// non-test files and type-checks them against that export data — a full
+// go/types load with zero dependencies beyond the standard library and
+// the go tool itself. extra packages (the fault registry) are loaded
+// even when the patterns don't match them.
+func Load(dir string, patterns []string, extra ...string) (*Program, error) {
+	args := []string{"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Export,Standard,DepOnly,GoFiles"}
+	args = append(args, patterns...)
+	for _, e := range extra {
+		if e != "" {
+			args = append(args, e)
+		}
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("praclint: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+
+	exports := map[string]string{}
+	var targets []listedPkg
+	seen := map[string]bool{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("praclint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && !seen[p.ImportPath] {
+			seen[p.ImportPath] = true
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (compile error?)", path)
+		}
+		return os.Open(f)
+	})
+
+	prog := &Program{Fset: fset}
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, g := range t.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(t.Dir, g), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("praclint: %v", err)
+			}
+			files = append(files, af)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("praclint: type-checking %s: %v", t.ImportPath, err)
+		}
+		prog.Pkgs = append(prog.Pkgs, &Package{
+			Path: t.ImportPath, Dir: t.Dir, Files: files, Types: tpkg, Info: info,
+		})
+	}
+	if len(prog.Pkgs) == 0 {
+		return nil, fmt.Errorf("praclint: no packages matched %s", strings.Join(patterns, " "))
+	}
+	return prog, nil
+}

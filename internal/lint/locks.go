@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// locks enforces critical-section hygiene: no direct I/O, no call into a
+// function that (transitively) performs I/O, and no failpoint firing
+// while holding a sync.Mutex/RWMutex acquired in the same function. An
+// injected fault or a slow disk inside a critical section is the PR-8
+// eviction/pinning race shape: a cheap lock becomes a stall every other
+// goroutine serializes behind.
+//
+// The analysis is source-position linear per function: a Lock on a mutex
+// expression holds until an Unlock of the same expression; a deferred
+// Unlock holds it to the end of the function. Branch-heavy shapes the
+// linear model misreads are the job of a //praclint:allow annotation.
+func locks(prog *Program, idx *index, cfg Config) []Finding {
+	idx.markFires(cfg.FireFuncs) // idempotent; failpoint may be disabled
+	fireSet := set(cfg.FireFuncs...)
+	doesIO := idx.transitively(func(n *funcNode) bool { return len(n.io) > 0 })
+	doesFire := idx.transitively(func(n *funcNode) bool { return n.fires })
+
+	var nodes []*funcNode
+	for _, node := range idx.funcs {
+		if len(cfg.LocksScope) > 0 && !inScope(cfg.LocksScope, node.pkg.Path) {
+			continue
+		}
+		if isTestFile(prog.Fset, fileOf(node.pkg, node.decl.Pos())) {
+			continue
+		}
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].decl.Pos() < nodes[j].decl.Pos() })
+
+	var out []Finding
+	for _, node := range nodes {
+		out = append(out, checkLockBody(prog, node, fireSet, doesIO, doesFire)...)
+	}
+	return out
+}
+
+// fileOf returns the *ast.File of pkg containing pos.
+func fileOf(pkg *Package, pos token.Pos) *ast.File {
+	for _, f := range pkg.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return pkg.Files[0]
+}
+
+// lockEvent is one ordered event inside a function body.
+type lockEvent struct {
+	pos   token.Pos
+	kind  int    // 0 lock, 1 unlock, 2 deferred unlock, 3 hazard
+	mutex string // lock/unlock: rendered mutex expression
+	what  string // hazard: description
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+	evHazard
+)
+
+// checkLockBody walks one function in source order and reports hazards
+// that occur while any same-function mutex is held.
+func checkLockBody(prog *Program, node *funcNode, fireSet map[string]bool, doesIO, doesFire map[*types.Func]bool) []Finding {
+	info := node.pkg.Info
+	var events []lockEvent
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// An unlock anywhere in a deferred call (including inside a
+			// deferred closure) runs at return: the lock stays held.
+			ast.Inspect(n.Call, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if mu, kind, ok := mutexOp(info, call); ok && (kind == "Unlock" || kind == "RUnlock") {
+					events = append(events, lockEvent{pos: n.Pos(), kind: evDeferUnlock, mutex: mu})
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if mu, kind, ok := mutexOp(info, n); ok {
+				switch kind {
+				case "Lock", "RLock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: evLock, mutex: mu})
+				case "Unlock", "RUnlock":
+					events = append(events, lockEvent{pos: n.Pos(), kind: evUnlock, mutex: mu})
+				}
+				return true
+			}
+			if fn := callee(info, n); fn != nil {
+				if what, ok := directIO(fn); ok {
+					events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "direct I/O (" + what + ")"})
+				} else if node.obj != fn { // ignore self-recursion
+					switch {
+					case fireSet[canonFunc(fn)]:
+						// The firing function itself (fault.Fire) never marks
+						// itself in doesFire, so match it by name.
+						events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "failpoint firing (" + canonFunc(fn) + ")"})
+					case doesFire[fn]:
+						events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "call to " + fn.Name() + ", which fires a failpoint"})
+					case doesIO[fn]:
+						events = append(events, lockEvent{pos: n.Pos(), kind: evHazard, what: "call to " + fn.Name() + ", which performs I/O"})
+					}
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string]int{}
+	var heldOrder []string // lock order, so reports name a deterministic mutex
+	deferred := false
+	holding := func() (string, bool) {
+		for _, mu := range heldOrder {
+			if held[mu] > 0 {
+				return mu, true
+			}
+		}
+		return "", false
+	}
+	var out []Finding
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			if held[ev.mutex] == 0 {
+				heldOrder = append(heldOrder, ev.mutex)
+			}
+			held[ev.mutex]++
+		case evUnlock:
+			if held[ev.mutex] > 0 {
+				held[ev.mutex]--
+			}
+		case evDeferUnlock:
+			deferred = true
+		case evHazard:
+			if mu, ok := holding(); ok {
+				out = append(out, finding(prog.Fset, ev.pos, CheckLocks,
+					"%s while holding %s (locked in %s) — release the lock before I/O or failpoints", ev.what, mu, node.obj.Name()))
+			} else if deferred {
+				out = append(out, finding(prog.Fset, ev.pos, CheckLocks,
+					"%s under a deferred unlock in %s — the lock is held until return; release it before I/O or failpoints", ev.what, node.obj.Name()))
+			}
+		}
+	}
+	return out
+}
+
+// mutexOp matches a call of the form expr.Lock() / expr.Unlock() (and
+// RLock/RUnlock) where the method belongs to sync.Mutex or sync.RWMutex
+// (including promoted methods of embedded mutexes). It reports the
+// rendered mutex expression so locks and unlocks pair up textually.
+func mutexOp(info *types.Info, call *ast.CallExpr) (mutex, kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	switch canonType(sig.Recv().Type()) {
+	case "sync.Mutex", "sync.RWMutex":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}

@@ -1,0 +1,51 @@
+// Package allowfix is a praclint fixture: suppression directives.
+package allowfix
+
+import (
+	"os"
+	"sync"
+)
+
+// T guards a counter.
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Suppressed is covered by a lead-in directive: no finding.
+func (t *T) Suppressed(path string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n--
+	//praclint:allow locks teardown-only helper, contention is impossible here
+	return os.Remove(path)
+}
+
+// Trailing is covered by a same-line directive: no finding.
+func (t *T) Trailing(path string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return os.Remove(path) //praclint:allow locks teardown-only helper, contention is impossible here
+}
+
+// WrongCheck's directive names a different check, so it suppresses
+// nothing.
+func (t *T) WrongCheck(path string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//praclint:allow determinism wrong check name, does not cover locks
+	return os.Remove(path) // want locks "direct I/O \(os.Remove\) while holding t.mu"
+}
+
+// TooFar's directive is two lines above the violation: out of range.
+func (t *T) TooFar(path string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//praclint:allow locks directive out of range, two lines above the call
+	t.n--
+	return os.Remove(path) // want locks "direct I/O \(os.Remove\) while holding t.mu"
+}
+
+//praclint:allow // want praclint "malformed directive"
+
+//praclint:allow bogus-check the check name here does not exist // want praclint "unknown check .bogus-check."

@@ -1,0 +1,51 @@
+// Package degrade is a praclint fixture: degrade-to-miss violations.
+package degrade
+
+import "errors"
+
+// ErrNotFound is the miss sentinel the front classifies.
+var ErrNotFound = errors.New("not found")
+
+// decode is the corruption detector; its errors mean "this copy is bad".
+func decode(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("corrupt frame")
+	}
+	return b, nil
+}
+
+// Backend leaks raw decode errors from its Get path.
+type Backend struct{}
+
+func (s *Backend) Get(key string) ([]byte, error) {
+	payload, err := decode([]byte(key))
+	if err != nil {
+		return nil, err // want degrade "Get returns a raw decode/corruption error"
+	}
+	return payload, nil
+}
+
+// Quarantined degrades before surfacing the raw error: clean.
+type Quarantined struct{}
+
+func (q *Quarantined) quarantine(key string) {}
+
+func (q *Quarantined) Get(key string) ([]byte, error) {
+	payload, err := decode([]byte(key))
+	if err != nil {
+		q.quarantine(key)
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Missed converts corruption to the miss sentinel: clean.
+type Missed struct{}
+
+func (m *Missed) Get(key string) ([]byte, error) {
+	payload, err := decode([]byte(key))
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	return payload, nil
+}

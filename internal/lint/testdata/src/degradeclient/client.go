@@ -1,0 +1,11 @@
+// Package degradeclient is a praclint fixture: Backend bypass outside
+// the store scope.
+package degradeclient
+
+import degrade "pracsim/internal/lint/testdata/src/degrade"
+
+// Read calls a Backend's Get directly instead of going through the
+// counting front.
+func Read(b *degrade.Backend, key string) ([]byte, error) {
+	return b.Get(key) // want degrade "bypasses the degrading Store front"
+}

@@ -1,0 +1,47 @@
+// Package det is a praclint fixture: determinism violations.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Emit renders a map in iteration order — the CSV-flips-run-to-run bug.
+func Emit(counts map[string]int) string {
+	out := ""
+	for k, v := range counts { // want determinism "map iteration feeds fmt.Sprintf"
+		out += fmt.Sprintf("%s=%d\n", k, v)
+	}
+	return out
+}
+
+// EmitSorted is the fix: iterate a sorted key slice.
+func EmitSorted(counts map[string]int, keys []string) string {
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d\n", k, counts[k])
+	}
+	return out
+}
+
+// Stamp reads the wall clock in the sim core.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism "wall-clock call time.Now"
+}
+
+// Draw reads the process-global randomness source.
+func Draw() int {
+	return rand.Intn(6) // want determinism "global-source randomness rand.Intn"
+}
+
+// Seeded draws from an explicit seed: methods on a seeded source are fine.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// Allowed is on the wall-clock allowlist in the test config.
+func Allowed() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+// Package fpio is a praclint fixture: failpoint coverage violations.
+package fpio
+
+import (
+	"os"
+
+	"pracsim/internal/fault"
+)
+
+// ReadCovered fires a failpoint before delegating: read below is covered.
+func ReadCovered(path string) ([]byte, error) {
+	if a := fault.Fire(fault.StoreDiskGet); a != nil {
+		return nil, a.Err("read " + path)
+	}
+	return read(path)
+}
+
+// read is reachable from ReadCovered, a firing function: clean.
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Orphan does I/O no failpoint can interpose on.
+func Orphan(path string) error {
+	return os.Remove(path) // want failpoint "direct I/O \(os.Remove\) in Orphan is not reachable"
+}

@@ -1,0 +1,24 @@
+// Package fpreg is a praclint fixture: failpoint registry violations.
+package fpreg
+
+import "pracsim/internal/fault"
+
+// FireKnown names a registered point: clean.
+func FireKnown() bool {
+	return fault.Fire(fault.StoreDiskGet) != nil
+}
+
+// FireUnknown names a point the registry does not know.
+func FireUnknown() bool {
+	return fault.Fire("store.disk.bogus") != nil // want failpoint "is not in the pracsim/internal/fault registry"
+}
+
+// ParseBad schedules a nonexistent point.
+func ParseBad() {
+	fault.Parse("seed=1;no.such.point:err") // want failpoint "schedule names failpoint .no.such.point."
+}
+
+// ParseGood schedules a registered point: clean.
+func ParseGood() {
+	fault.Parse("seed=1;" + "store.disk.get:err@0.5")
+}

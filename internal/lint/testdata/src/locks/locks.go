@@ -1,0 +1,56 @@
+// Package locks is a praclint fixture: lock-hygiene violations.
+package locks
+
+import (
+	"os"
+	"sync"
+
+	"pracsim/internal/fault"
+)
+
+// Cache holds a mutex over an index, not over I/O.
+type Cache struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad removes a file while holding the mutex.
+func (c *Cache) Bad(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	return os.Remove(path) // want locks "direct I/O \(os.Remove\) while holding c.mu"
+}
+
+// Good releases the mutex before the I/O.
+func (c *Cache) Good(path string) error {
+	c.mu.Lock()
+	c.n--
+	c.mu.Unlock()
+	return os.Remove(path)
+}
+
+// ViaHelper reaches I/O through a callee while holding the mutex.
+func (c *Cache) ViaHelper(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spill(path) // want locks "call to spill, which performs I/O"
+}
+
+func (c *Cache) spill(path string) error {
+	return os.WriteFile(path, nil, 0o644)
+}
+
+// FireHeld fires a failpoint inside the critical section.
+func (c *Cache) FireHeld() {
+	c.mu.Lock()
+	fault.Fire(fault.StoreDiskGet) // want locks "failpoint firing \(pracsim/internal/fault.Fire\)"
+	c.mu.Unlock()
+}
+
+// DeferredClosure keeps the lock held through a deferred closure unlock.
+func (c *Cache) DeferredClosure(path string) error {
+	c.mu.Lock()
+	defer func() { c.mu.Unlock() }()
+	return os.Remove(path) // want locks "direct I/O \(os.Remove\) while holding c.mu"
+}

@@ -1,0 +1,67 @@
+// Package seeded is the praclint self-test fixture: exactly one seeded
+// violation per analyzer, so the suite can prove each check fires and
+// that the CLI exits nonzero on a dirty tree.
+package seeded
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pracsim/internal/fault"
+)
+
+// Stamp: determinism violation (wall clock in the sim core).
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism "wall-clock call time.Now"
+}
+
+// Render: determinism violation (map range feeding output).
+func Render(m map[string]int) {
+	for k, v := range m { // want determinism "map iteration feeds fmt.Printf"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// FireTypo: failpoint violation (unregistered point name). This one is
+// scope-independent, so plain `praclint ./testdata/src/seeded` trips it.
+func FireTypo() bool {
+	return fault.Fire("store.disk.gte") != nil // want failpoint "is not in the pracsim/internal/fault registry"
+}
+
+// Orphan: failpoint violation (I/O unreachable from any firing func).
+func Orphan(path string) error {
+	return os.Remove(path) // want failpoint "direct I/O \(os.Remove\) in Orphan is not reachable"
+}
+
+// decode is the fixture's corruption detector.
+func decode(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("corrupt frame")
+	}
+	return b, nil
+}
+
+// backend: degrade violation (raw decode error escapes the Get path).
+type backend struct{}
+
+func (b *backend) Get(key string) ([]byte, error) {
+	payload, err := decode([]byte(key))
+	if err != nil {
+		return nil, err // want degrade "Get returns a raw decode/corruption error"
+	}
+	return payload, nil
+}
+
+// store: locks violation (I/O while holding the mutex).
+type store struct {
+	mu sync.Mutex
+}
+
+func (s *store) Flush(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(path, nil, 0o600) // want locks "direct I/O \(os.WriteFile\) while holding s.mu" failpoint "direct I/O \(os.WriteFile\) in Flush is not reachable"
+}
