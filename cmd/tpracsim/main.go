@@ -37,6 +37,14 @@
 //	         [-dispatch N [-dispatch-cmd TEMPLATE] [-dispatch-attempts K]
 //	          [-dispatch-min A -dispatch-max B]]
 //	tpracsim -store-info|-store-prune [-store DIR|URL|auto]
+//	tpracsim -pull http://host:8460 [-pull-token SECRET] [-pull-idle-exit 30s]
+//
+// -pull turns this process into a pull worker for a pracsimd experiment
+// service (see cmd/pracsimd): it leases shard work items from the
+// daemon, executes them against its -store, and uploads each shard
+// result file, repeating until signaled (or until -pull-idle-exit of
+// queue silence). The daemon's lease carries the grid's experiments and
+// scale, so a pull worker needs no -exp/-scale of its own.
 //
 // -store-budget bounds the local store tier's disk footprint (e.g.
 // 512MB): least-recently-accessed entries are evicted in the background
@@ -65,6 +73,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -77,6 +86,7 @@ import (
 	"pracsim/internal/exp"
 	"pracsim/internal/exp/dispatch"
 	"pracsim/internal/exp/journal"
+	"pracsim/internal/exp/service"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
 	"pracsim/internal/fault"
@@ -84,11 +94,6 @@ import (
 	"pracsim/internal/sim"
 	"pracsim/internal/stats"
 )
-
-type report interface {
-	Render() string
-	CSV() string
-}
 
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tpracsim: "+format+"\n", args...)
@@ -120,6 +125,9 @@ func main() {
 	dispatchMax := flag.Int("dispatch-max", 0, "elastic fleet ceiling: the pool autoscales between -dispatch-min and this on queue depth and stragglers (0 = fixed pool of -dispatch size)")
 	journalMode := flag.String("journal", "off", "crash-recovery session journal: a directory, 'auto' (user cache dir, keyed by the session's arguments) or 'off'; an interrupted invocation re-run with the same arguments resumes instead of re-simulating")
 	csvDir := flag.String("csvdir", "", "directory to write CSV files into (optional)")
+	pullURL := flag.String("pull", "", "run as a pull worker for the pracsimd experiment service at this URL (leases and executes shard work items until signaled)")
+	pullToken := flag.String("pull-token", os.Getenv("PRACSIMD_TOKEN"), "bearer token for -pull (default $PRACSIMD_TOKEN)")
+	pullIdleExit := flag.Duration("pull-idle-exit", 0, "with -pull: exit cleanly after this long without leased work (0 = run until signaled)")
 	flag.Parse()
 
 	if *faults != "" {
@@ -176,6 +184,14 @@ func main() {
 			os.Exit(2)
 		}
 		runStoreMaintenance(st, *storePrune, *storeInfo)
+		return
+	}
+	if *pullURL != "" {
+		if *dispatchN > 0 || *shardArg != "" || *mergeArg != "" {
+			fmt.Fprintln(os.Stderr, "tpracsim: -pull is exclusive with -dispatch/-shard/-merge (the daemon assigns the work)")
+			os.Exit(2)
+		}
+		runPull(*pullURL, *pullToken, st, *workers, *pullIdleExit)
 		return
 	}
 	if *dispatchMax > 0 && *dispatchMin > *dispatchMax {
@@ -273,27 +289,15 @@ func main() {
 		fmt.Printf("merged %d runs from %d shard file(s)\n", n, len(files))
 	}
 
-	runs := map[string]func() (report, error){
-		"fig10":  func() (report, error) { return session.Fig10() },
-		"fig11":  func() (report, error) { return session.Fig11() },
-		"fig12":  func() (report, error) { return session.Fig12() },
-		"fig13":  func() (report, error) { return session.Fig13() },
-		"fig14":  func() (report, error) { return session.Fig14() },
-		"table5": func() (report, error) { return session.Table5() },
-		"rfmpb":  func() (report, error) { return session.RFMpb() },
-	}
-	order := []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "rfmpb"}
-
 	// Validate the selection before any work — in particular before a
 	// dispatch fleet spawns and burns its retry budget on workers that
-	// would all exit with this same error.
-	selected := order
-	if *which != "all" {
-		if _, ok := runs[*which]; !ok {
-			fmt.Fprintf(os.Stderr, "tpracsim: unknown experiment %q\n", *which)
-			os.Exit(2)
-		}
-		selected = []string{*which}
+	// would all exit with this same error. The selection grammar lives in
+	// the exp package (ExpandExperiments), shared with pracsimd's grid
+	// specs.
+	selected, err := exp.ExpandExperiments([]string{*which})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpracsim: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *dispatchN > 0 {
@@ -316,7 +320,7 @@ func main() {
 	for _, name := range selected {
 		fmt.Printf("running %s at %s scale...\n", name, *scaleName)
 		before := session.Executed()
-		res, err := runs[name]()
+		res, err := session.Run(name)
 		if err != nil {
 			fatalf("%s: %v", name, err)
 		}
@@ -368,6 +372,31 @@ func main() {
 		if err := jl.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "tpracsim: closing journal: %v\n", err)
 		}
+	}
+}
+
+// runPull serves -pull: the pull-worker loop against a pracsimd daemon.
+// SIGINT/SIGTERM drain — the current item finishes (or its ack is
+// retried) before the loop exits with a summary.
+func runPull(url, token string, st *store.Store, workers int, idleExit time.Duration) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	host, _ := os.Hostname()
+	sum, err := service.RunWorker(ctx, service.WorkerOptions{
+		URL:      url,
+		Token:    token,
+		Name:     fmt.Sprintf("%s-%d", host, os.Getpid()),
+		Store:    st,
+		Workers:  workers,
+		IdleExit: idleExit,
+		Log:      log.New(os.Stderr, "tpracsim: ", 0),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(sum)
+	if n := fault.Fired(); n > 0 {
+		fmt.Printf("faults injected: %d\n", n)
 	}
 }
 

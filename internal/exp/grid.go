@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"pracsim/internal/sim"
+)
+
+// Report is the common shape of every experiment result: a rendered
+// human-readable table and its machine-readable CSV. tpracsim prints
+// the first and writes the second; the experiment service serves the
+// second by job id.
+type Report interface {
+	Render() string
+	CSV() string
+}
+
+// experimentOrder is the canonical experiment sequence — the order
+// `-exp all` runs and the order grid specs are normalized into.
+var experimentOrder = []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table5", "rfmpb"}
+
+// Experiments returns the experiment names in canonical order.
+func Experiments() []string {
+	return append([]string(nil), experimentOrder...)
+}
+
+// Run runs one named experiment within this session. The name grammar
+// is exactly tpracsim's -exp flag (minus "all", which callers expand
+// via ExpandExperiments).
+func (s *Runner) Run(name string) (Report, error) {
+	switch name {
+	case "fig10":
+		return s.Fig10()
+	case "fig11":
+		return s.Fig11()
+	case "fig12":
+		return s.Fig12()
+	case "fig13":
+		return s.Fig13()
+	case "fig14":
+		return s.Fig14()
+	case "table5":
+		return s.Table5()
+	case "rfmpb":
+		return s.RFMpb()
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q", name)
+}
+
+// ExpandExperiments validates a selection against the canonical set,
+// expands "all", drops duplicates and returns the selection in
+// canonical order — the one grid-spec grammar tpracsim and the
+// experiment service share.
+func ExpandExperiments(names []string) ([]string, error) {
+	known := make(map[string]bool, len(experimentOrder))
+	for _, n := range experimentOrder {
+		known[n] = true
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "all" {
+			for _, k := range experimentOrder {
+				want[k] = true
+			}
+			continue
+		}
+		if !known[n] {
+			return nil, fmt.Errorf("exp: unknown experiment %q", n)
+		}
+		want[n] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("exp: no experiments selected")
+	}
+	var out []string
+	for _, n := range experimentOrder {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+// sweepNRHs is the threshold axis Figures 13/14 and Table 5 share.
+var sweepNRHs = []int{128, 256, 512, 1024, 2048, 4096}
+
+// experimentVariants enumerates the distinct mitigation variants one
+// named experiment simulates, mirroring each run function's grid
+// exactly (the per-workload baseline is implicit and excluded here).
+// TestGridKeysMatchSession pins the mirror against the real runs.
+func experimentVariants(name string) ([]Variant, error) {
+	switch name {
+	case "fig10":
+		return Fig10Variants(1024), nil
+	case "fig11":
+		var vs []Variant
+		for _, level := range []int{1, 2, 4} {
+			for _, v := range Fig10Variants(1024) {
+				v.PRACLevel = level
+				vs = append(vs, v)
+			}
+		}
+		return vs, nil
+	case "fig12":
+		var vs []Variant
+		for _, every := range []int{0, 4, 3, 2, 1} {
+			v := Variant{Name: "TPRAC", Policy: sim.PolicyTPRAC, NRH: 1024}
+			if every > 0 {
+				v.TREFEvery = every
+				v.SkipOnTREF = true
+			}
+			vs = append(vs, v)
+		}
+		return vs, nil
+	case "fig13":
+		var vs []Variant
+		for _, nrh := range sweepNRHs {
+			vs = append(vs, Fig10Variants(nrh)...)
+			vs = append(vs,
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 4, SkipOnTREF: true},
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 1, SkipOnTREF: true})
+		}
+		return vs, nil
+	case "fig14":
+		var vs []Variant
+		for _, nrh := range sweepNRHs {
+			vs = append(vs,
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh},
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh, NoReset: true},
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh, TREFEvery: 1, SkipOnTREF: true},
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh, NoReset: true, TREFEvery: 1, SkipOnTREF: true})
+		}
+		return vs, nil
+	case "table5":
+		var vs []Variant
+		for _, nrh := range sweepNRHs {
+			vs = append(vs, Variant{Policy: sim.PolicyTPRAC, NRH: nrh})
+		}
+		return vs, nil
+	case "rfmpb":
+		var vs []Variant
+		for _, nrh := range []int{256, 512, 1024} {
+			vs = append(vs,
+				Variant{Policy: sim.PolicyTPRAC, NRH: nrh},
+				Variant{Policy: sim.PolicyTPRACpb, NRH: nrh})
+		}
+		return vs, nil
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q", name)
+}
+
+// GridKeys returns the sorted, deduplicated store keys of every
+// simulation the named experiments resolve at a scale — per-workload
+// baselines included. This is the experiment service's dedup oracle: a
+// submitted grid whose keys are all warm in the store needs zero work,
+// and two experiments sharing configurations (Table 5 re-runs Figure
+// 13's TPRAC points) share keys here exactly as the session's
+// single-flight cache shares their executions.
+func GridKeys(names []string, scale Scale) ([]string, error) {
+	names, err := ExpandExperiments(names)
+	if err != nil {
+		return nil, err
+	}
+	workloads := scale.workloads()
+	seen := make(map[string]bool)
+	for _, name := range names {
+		vs, err := experimentVariants(name)
+		if err != nil {
+			return nil, err
+		}
+		vs = append(vs, Variant{Policy: sim.PolicyNone}) // the shared baseline
+		for _, v := range vs {
+			for _, w := range workloads {
+				seen[storeKey(scale, canonicalKey(v, w))] = true
+			}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -74,6 +74,9 @@ const (
 	typeMerge  = "merge"
 	typeExport = "export"
 	typeDone   = "done"
+	typeJob    = "job"
+	typeLease  = "lease"
+	typeAck    = "ack"
 )
 
 // record is one journal entry. A single struct covers every type; JSON
@@ -83,13 +86,20 @@ type record struct {
 	Schema  int      `json:"schema,omitempty"`  // open
 	FP      string   `json:"fp,omitempty"`      // open, plan
 	Key     string   `json:"key,omitempty"`     // run
-	Payload []byte   `json:"p,omitempty"`       // run
-	Shard   string   `json:"shard,omitempty"`   // shard ("i/n")
-	File    string   `json:"file,omitempty"`    // shard
-	Runs    int      `json:"runs,omitempty"`    // shard, merge, export
+	Payload []byte   `json:"p,omitempty"`       // run, job (grid spec)
+	Shard   string   `json:"shard,omitempty"`   // shard, lease, ack ("i/n")
+	File    string   `json:"file,omitempty"`    // shard, ack
+	Runs    int      `json:"runs,omitempty"`    // shard, merge, export, job, ack
 	Files   []string `json:"files,omitempty"`   // merge
 	Name    string   `json:"name,omitempty"`    // done (experiment name)
 	Pool    int      `json:"pool,omitempty"`    // scale (surviving worker-pool size)
+	Job     string   `json:"job,omitempty"`     // job, lease, ack (job id)
+	Token   string   `json:"token,omitempty"`   // job (tenant identity)
+	Prio    int      `json:"prio,omitempty"`    // job
+	Status  string   `json:"status,omitempty"`  // job ("" = submitted)
+	Worker  string   `json:"worker,omitempty"`  // lease
+	Msg     string   `json:"msg,omitempty"`     // job (failure detail)
+	Exec    int64    `json:"exec,omitempty"`    // ack (simulations the worker executed)
 }
 
 // ShardRecord is a journaled per-shard convergence: the validated shard
@@ -99,6 +109,43 @@ type ShardRecord struct {
 	Shard string // "i/n"
 	File  string
 	Runs  int
+}
+
+// JobRecord is a journaled experiment-service job event: the submission
+// (Status empty, Spec carrying the grid) or a later terminal transition
+// for the same id (Status "done"/"failed"/"canceled", Spec empty). The
+// queue folds the sequence per id; the last status wins.
+type JobRecord struct {
+	ID       string
+	Token    string // tenant identity (quotas, fairness)
+	Priority int
+	Spec     []byte // grid spec JSON; submission records only
+	Status   string // "" = submitted
+	Runs     int    // done: simulations the job executed in total
+	Msg      string // failed: what went wrong
+}
+
+// LeaseRecord is a journaled work-item lease grant. A restarted daemon
+// voids live leases and requeues every unacked item, so these replay
+// only to preserve per-item attempt counts across a crash.
+type LeaseRecord struct {
+	Job    string
+	Item   string // shard "i/n"
+	Worker string
+}
+
+// AckRecord is a journaled work-item completion: the durable shard file
+// a worker delivered. Replayed acks are exactly what keeps a resumed
+// queue from re-executing finished work.
+type AckRecord struct {
+	Job  string
+	Item string // shard "i/n"
+	File string
+	Runs int
+	// Exec counts the simulations the worker actually executed for this
+	// item (store hits excluded) — telemetry a resumed queue reports
+	// faithfully instead of guessing.
+	Exec int64
 }
 
 // Options configures Open.
@@ -142,6 +189,13 @@ type Recovery struct {
 	Done []string
 	// Merges counts replayed merge-completion records.
 	Merges int
+	// Jobs lists replayed experiment-service job events in append order
+	// (submissions and terminal transitions alike; the queue folds them).
+	Jobs []JobRecord
+	// Leases lists replayed lease grants, for attempt accounting.
+	Leases []LeaseRecord
+	// Acks lists replayed work-item completions.
+	Acks []AckRecord
 }
 
 // Stats snapshots a journal's traffic counters — what session telemetry
@@ -357,6 +411,15 @@ func adopt(f *os.File, path string, opts Options, rec *Recovery) (*Journal, stri
 			rec.Merges++
 		case typeDone:
 			rec.Done = append(rec.Done, r.Name)
+		case typeJob:
+			rec.Jobs = append(rec.Jobs, JobRecord{
+				ID: r.Job, Token: r.Token, Priority: r.Prio,
+				Spec: r.Payload, Status: r.Status, Runs: r.Runs, Msg: r.Msg,
+			})
+		case typeLease:
+			rec.Leases = append(rec.Leases, LeaseRecord{Job: r.Job, Item: r.Shard, Worker: r.Worker})
+		case typeAck:
+			rec.Acks = append(rec.Acks, AckRecord{Job: r.Job, Item: r.Shard, File: r.File, Runs: r.Runs, Exec: r.Exec})
 		}
 	}
 	if !sawOpen {
@@ -498,6 +561,36 @@ func (j *Journal) AppendExport(path string, runs int) error {
 // AppendDone journals a completed experiment (or session phase).
 func (j *Journal) AppendDone(name string) error {
 	return j.append(record{Type: typeDone, Name: name})
+}
+
+// AppendJob journals a job submission or terminal transition, then
+// syncs — a job id already handed to a client (or a completion already
+// reported) must survive the next crash.
+func (j *Journal) AppendJob(r JobRecord) error {
+	err := j.append(record{
+		Type: typeJob, Job: r.ID, Token: r.Token, Prio: r.Priority,
+		Payload: r.Spec, Status: r.Status, Runs: r.Runs, Msg: r.Msg,
+	})
+	if err != nil {
+		return err
+	}
+	return j.Sync()
+}
+
+// AppendLease journals a work-item lease grant. Unsynced on purpose:
+// losing one costs an attempt count on resume, never work.
+func (j *Journal) AppendLease(r LeaseRecord) error {
+	return j.append(record{Type: typeLease, Job: r.Job, Shard: r.Item, Worker: r.Worker})
+}
+
+// AppendAck journals a completed work item, then syncs — an acked item
+// is exactly the checkpoint that makes a resumed queue re-execute
+// nothing.
+func (j *Journal) AppendAck(r AckRecord) error {
+	if err := j.append(record{Type: typeAck, Job: r.Job, Shard: r.Item, File: r.File, Runs: r.Runs, Exec: r.Exec}); err != nil {
+		return err
+	}
+	return j.Sync()
 }
 
 func (j *Journal) append(r record) error {

@@ -508,3 +508,54 @@ func TestScaleRecordRoundTrip(t *testing.T) {
 		t.Errorf("pool survived a plan supersession: %d/%d, want 0", rec3.Pool, j3.RecoveredPool())
 	}
 }
+
+// TestJobQueueRecordsRoundTrip: the experiment-service job/lease/ack
+// records replay in order, with field fidelity, across a close/reopen —
+// the queue-resume contract.
+func TestJobQueueRecordsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.journal")
+	j, _ := open(t, path, testOpts())
+	spec := []byte(`{"exps":["fig12"],"scale":"quick","shards":2}`)
+	if err := j.AppendJob(JobRecord{ID: "j1", Token: "tokA", Priority: 2, Spec: spec}); err != nil {
+		t.Fatalf("AppendJob: %v", err)
+	}
+	if err := j.AppendLease(LeaseRecord{Job: "j1", Item: "0/2", Worker: "w-1"}); err != nil {
+		t.Fatalf("AppendLease: %v", err)
+	}
+	if err := j.AppendAck(AckRecord{Job: "j1", Item: "0/2", File: "/w/j1-0.runs", Runs: 24, Exec: 20}); err != nil {
+		t.Fatalf("AppendAck: %v", err)
+	}
+	if err := j.AppendAck(AckRecord{Job: "j1", Item: "1/2", File: "/w/j1-1.runs", Runs: 24}); err != nil {
+		t.Fatalf("AppendAck: %v", err)
+	}
+	if err := j.AppendJob(JobRecord{ID: "j1", Status: "done", Runs: 48}); err != nil {
+		t.Fatalf("AppendJob(done): %v", err)
+	}
+	if err := j.AppendJob(JobRecord{ID: "j2", Token: "tokB", Spec: spec}); err != nil {
+		t.Fatalf("AppendJob(j2): %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, rec := open(t, path, testOpts())
+	defer j2.Close()
+	if len(rec.Jobs) != 3 {
+		t.Fatalf("recovered %d job records, want 3: %+v", len(rec.Jobs), rec.Jobs)
+	}
+	if r := rec.Jobs[0]; r.ID != "j1" || r.Token != "tokA" || r.Priority != 2 || string(r.Spec) != string(spec) || r.Status != "" {
+		t.Errorf("job submission record mangled: %+v", r)
+	}
+	if r := rec.Jobs[1]; r.ID != "j1" || r.Status != "done" || r.Runs != 48 {
+		t.Errorf("job terminal record mangled: %+v", r)
+	}
+	if r := rec.Jobs[2]; r.ID != "j2" || r.Token != "tokB" {
+		t.Errorf("second job record mangled: %+v", r)
+	}
+	if len(rec.Leases) != 1 || rec.Leases[0] != (LeaseRecord{Job: "j1", Item: "0/2", Worker: "w-1"}) {
+		t.Errorf("lease records = %+v, want the one grant", rec.Leases)
+	}
+	if len(rec.Acks) != 2 || rec.Acks[0] != (AckRecord{Job: "j1", Item: "0/2", File: "/w/j1-0.runs", Runs: 24, Exec: 20}) {
+		t.Errorf("ack records = %+v", rec.Acks)
+	}
+}

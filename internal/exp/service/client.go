@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pracsim/internal/fault"
+)
+
+// ErrLeaseLost reports that the daemon no longer holds the worker's
+// lease (expired, restarted, or the job was canceled): the worker
+// discards its attempt — the item is someone else's now.
+var ErrLeaseLost = errors.New("service: lease lost")
+
+// Client talks to a pracsimd daemon: the worker verbs (lease,
+// heartbeat, ack, fail) and the submitter verbs (submit, status, wait,
+// results) the CLI and tests share.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://host:8080"); token may be empty against an open daemon.
+func NewClient(base, token string) *Client {
+	return &Client{
+		base:  strings.TrimRight(base, "/"),
+		token: token,
+		hc:    &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// send issues one authenticated request — the client's single HTTP
+// boundary (every verb funnels through it).
+func (c *Client) send(ctx context.Context, method, path, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s %s: %w", method, path, err)
+	}
+	return resp, nil
+}
+
+// do issues one request; a non-nil out decodes a JSON response body.
+// HTTP-level errors (non-2xx) come back as *StatusError.
+func (c *Client) do(ctx context.Context, method, path string, contentType string, body io.Reader, out any) error {
+	resp, err := c.send(ctx, method, path, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("service: decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// StatusError is a non-2xx daemon response.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("service: daemon returned %d: %s", e.Code, e.Msg)
+}
+
+// IsStatus reports whether err is a daemon response with the given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
+}
+
+// leaseLost maps the daemon's gone/not-found responses onto
+// ErrLeaseLost.
+func leaseLost(err error) error {
+	if IsStatus(err, http.StatusGone) || IsStatus(err, http.StatusNotFound) {
+		return ErrLeaseLost
+	}
+	return err
+}
+
+// Lease polls for a work item; (nil, nil) means the queue is idle.
+// The queue.lease failpoint fires here — the worker-side half of the
+// grant boundary (the daemon's handler is the other).
+func (c *Client) Lease(ctx context.Context, worker string) (*LeaseGrant, error) {
+	if act := fault.Fire(fault.QueueLease); act != nil && act.Kind == fault.Err {
+		return nil, act.Err("lease request")
+	}
+	var g LeaseGrant
+	err := c.do(ctx, http.MethodPost, "/v1/lease?worker="+worker, "", nil, &g)
+	if err != nil {
+		return nil, err
+	}
+	if g.ID == "" { // 204: nothing ready
+		return nil, nil
+	}
+	return &g, nil
+}
+
+// Heartbeat renews a lease; ErrLeaseLost means stop working on it.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	return leaseLost(c.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/heartbeat", "", nil, nil))
+}
+
+// Ack uploads the item's shard result file; ErrLeaseLost means the
+// work was re-leased and this copy is discarded.
+func (c *Client) Ack(ctx context.Context, leaseID, shardFile string, executed int64) error {
+	f, err := os.Open(shardFile)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	defer f.Close()
+	path := fmt.Sprintf("/v1/lease/%s/ack?executed=%d", leaseID, executed)
+	return leaseLost(c.do(ctx, http.MethodPost, path, "application/octet-stream", f, nil))
+}
+
+// Fail releases a lease the worker could not complete.
+func (c *Client) Fail(ctx context.Context, leaseID, msg string) error {
+	return leaseLost(c.do(ctx, http.MethodPost, "/v1/lease/"+leaseID+"/fail", "text/plain", strings.NewReader(msg), nil))
+}
+
+// Submit posts a grid spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec GridSpec) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, fmt.Errorf("service: %w", err)
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", "application/json", bytes.NewReader(body), &st)
+	return st, err
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, "", nil, &st)
+	return st, err
+}
+
+// Result fetches a finished job's CSV by name (e.g. "fig12.csv").
+func (c *Client) Result(ctx context.Context, id, name string) ([]byte, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/jobs/"+id+"/results/"+name, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err == nil && terminal(st.State) {
+			return st, nil
+		}
+		if err != nil && ctx.Err() != nil {
+			return st, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"pracsim/internal/exp/store"
 	"pracsim/internal/fault"
+	"pracsim/internal/httpd"
 )
 
 // Options configures a Server.
@@ -55,27 +56,36 @@ type Options struct {
 // Server serves one disk-backed store over HTTP. It implements
 // http.Handler.
 type Server struct {
-	disk *store.Disk
-	opts Options
-	mux  *http.ServeMux
+	disk   *store.Disk
+	opts   Options
+	mux    *http.ServeMux
+	tokens *httpd.Tokens
+	reqs   *httpd.Metrics
 
 	start time.Time
 
 	gets, puts, deletes, hits, misses atomic.Int64
-	putRejects, authFails             atomic.Int64
+	putRejects                        atomic.Int64
 	bytesIn, bytesOut                 atomic.Int64
 }
 
 // New returns a server over a disk backend.
 func New(d *store.Disk, opts Options) *Server {
-	s := &Server{disk: d, opts: opts, start: time.Now(), mux: http.NewServeMux()}
+	s := &Server{
+		disk:   d,
+		opts:   opts,
+		start:  time.Now(),
+		mux:    http.NewServeMux(),
+		tokens: httpd.NewTokens(opts.Token),
+		reqs:   httpd.NewMetrics(),
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.Handle("GET /v1/e/{hash}", s.auth(s.handleGet))
-	s.mux.Handle("PUT /v1/e/{hash}", s.auth(s.handlePut))
-	s.mux.Handle("DELETE /v1/e/{hash}", s.auth(s.handleDelete))
-	s.mux.Handle("GET /v1/stat/{hash}", s.auth(s.handleStat))
-	s.mux.Handle("GET /v1/list", s.auth(s.handleList))
+	s.mux.Handle("GET /v1/e/{hash}", s.route("get", s.handleGet))
+	s.mux.Handle("PUT /v1/e/{hash}", s.route("put", s.handlePut))
+	s.mux.Handle("DELETE /v1/e/{hash}", s.route("delete", s.handleDelete))
+	s.mux.Handle("GET /v1/stat/{hash}", s.route("stat", s.handleStat))
+	s.mux.Handle("GET /v1/list", s.route("list", s.handleList))
 	return s
 }
 
@@ -87,19 +97,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// auth wraps a /v1/* handler with the bearer-token check.
-func (s *Server) auth(h http.HandlerFunc) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.opts.Token != "" {
-			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-			if !ok || got != s.opts.Token {
-				s.authFails.Add(1)
-				http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
-				return
-			}
-		}
-		h(w, r)
-	})
+// route wraps a /v1/* handler with the shared bearer-token check and
+// per-endpoint request/latency accounting.
+func (s *Server) route(endpoint string, h http.HandlerFunc) http.Handler {
+	return s.reqs.Instrument(endpoint, s.tokens.Require(h))
 }
 
 // validHash reports whether a path segment is a well-formed content
@@ -296,19 +297,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-	}
+	counter := func(name, help string, v int64) { httpd.Counter(w, name, help, v) }
+	gauge := func(name, help string, v float64) { httpd.Gauge(w, name, help, v) }
 	counter("pracstored_gets_total", "Entry GET requests.", s.gets.Load())
 	counter("pracstored_hits_total", "GETs served from the store.", s.hits.Load())
 	counter("pracstored_misses_total", "GETs with no entry.", s.misses.Load())
 	counter("pracstored_puts_total", "Entry PUT requests.", s.puts.Load())
 	counter("pracstored_put_rejects_total", "PUTs rejected by frame validation.", s.putRejects.Load())
 	counter("pracstored_deletes_total", "Entry DELETE requests.", s.deletes.Load())
-	counter("pracstored_auth_failures_total", "Requests with a missing or wrong bearer token.", s.authFails.Load())
+	counter("pracstored_auth_failures_total", "Requests with a missing or wrong bearer token.", s.tokens.AuthFailures())
 	counter("pracstored_bytes_out_total", "Frame bytes served.", s.bytesOut.Load())
 	counter("pracstored_bytes_in_total", "Payload bytes accepted.", s.bytesIn.Load())
 	if n := fault.Fired(); n > 0 {
@@ -328,4 +325,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("pracstored_eviction_sweeps_total", "Eviction sweeps that ran.", ev.Sweeps)
 		gauge("pracstored_store_budget_bytes", "Configured store budget (0 = unbounded).", float64(ev.Budget))
 	}
+	s.reqs.Write(w, "pracstored")
 }

@@ -96,6 +96,19 @@ const (
 	// JournalSync fires in the session journal's fsync batch: err (the
 	// sync fails; the journal stays usable and the next sync retries).
 	JournalSync = "journal.sync"
+	// ServiceSubmit fires in pracsimd's job-submit handler: err (500 —
+	// the job is not journaled and the client must retry), delay.
+	ServiceSubmit = "service.submit"
+	// QueueLease fires on the work-item lease path — the daemon's grant
+	// handler and the pull worker's lease request alike: err, delay.
+	QueueLease = "queue.lease"
+	// QueueAck fires on the work-item ack path — the daemon's shard
+	// upload handler and the pull worker's delivery alike: err (the ack
+	// fails; the lease expires and the item requeues), delay.
+	QueueAck = "queue.ack"
+	// ServiceStream fires per SSE progress event in pracsimd: err (the
+	// stream drops mid-job; polling still serves the status), delay.
+	ServiceStream = "service.stream"
 )
 
 // Kind names what a fired failpoint does at its site.
@@ -123,6 +136,7 @@ var knownPoints = map[string]bool{
 	ShardRead: true, ShardWrite: true,
 	DispatchSpawn: true, DispatchWorker: true,
 	JournalAppend: true, JournalSync: true,
+	ServiceSubmit: true, QueueLease: true, QueueAck: true, ServiceStream: true,
 }
 
 var knownKinds = map[Kind]bool{

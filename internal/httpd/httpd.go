@@ -1,0 +1,96 @@
+// Package httpd holds the HTTP plumbing the pracsim daemons share:
+// bearer-token authentication and Prometheus text-format metrics,
+// including per-endpoint request counters and a coarse latency
+// histogram. pracstored (the store service) and pracsimd (the
+// experiment service) both mount their routes through this package, so
+// the two daemons present one auth contract and one metrics dialect
+// instead of drifting apart.
+package httpd
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Tokens is a bearer-token set. An empty set means the server is open:
+// every request passes and authenticates as the empty identity. A
+// non-empty set requires `Authorization: Bearer <token>` where the
+// token is a member; the matched token doubles as the caller's tenant
+// identity (per-token quotas and fairness key off it).
+type Tokens struct {
+	set      map[string]bool
+	failures atomic.Int64
+}
+
+// ParseTokens builds a token set from a comma-separated list, the CLI
+// flag form. Empty elements are dropped; an empty spec is the open set.
+func ParseTokens(spec string) *Tokens {
+	var list []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			list = append(list, t)
+		}
+	}
+	return NewTokens(list...)
+}
+
+// NewTokens builds a token set from explicit tokens.
+func NewTokens(list ...string) *Tokens {
+	t := &Tokens{set: make(map[string]bool, len(list))}
+	for _, tok := range list {
+		if tok != "" {
+			t.set[tok] = true
+		}
+	}
+	return t
+}
+
+// Open reports whether the set accepts unauthenticated requests.
+func (t *Tokens) Open() bool { return len(t.set) == 0 }
+
+// AuthFailures counts requests rejected for a missing or wrong token.
+func (t *Tokens) AuthFailures() int64 { return t.failures.Load() }
+
+// Match checks a request's Authorization header against the set,
+// returning the authenticated token (empty on an open set).
+func (t *Tokens) Match(r *http.Request) (string, bool) {
+	if t.Open() {
+		return "", true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if !ok || !t.set[got] {
+		return "", false
+	}
+	return got, true
+}
+
+// tokenKey carries the authenticated bearer token through the request
+// context.
+type tokenKey struct{}
+
+// Require wraps a handler with the bearer-token check: 401 on a missing
+// or wrong token, and the authenticated token injected into the request
+// context (see Token) on success.
+func (t *Tokens) Require(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tok, ok := t.Match(r)
+		if !ok {
+			t.failures.Add(1)
+			http.Error(w, "missing or invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		if tok != "" {
+			r = r.WithContext(context.WithValue(r.Context(), tokenKey{}, tok))
+		}
+		h(w, r)
+	})
+}
+
+// Token returns the authenticated bearer token stored by Require, or ""
+// for an open server.
+func Token(ctx context.Context) string {
+	tok, _ := ctx.Value(tokenKey{}).(string)
+	return tok
+}

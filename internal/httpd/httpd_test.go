@@ -1,0 +1,110 @@
+package httpd
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTokensOpen(t *testing.T) {
+	tok := ParseTokens("")
+	if !tok.Open() {
+		t.Fatalf("empty spec should be the open set")
+	}
+	h := tok.Require(func(w http.ResponseWriter, r *http.Request) {
+		if got := Token(r.Context()); got != "" {
+			t.Errorf("open set authenticated as %q, want empty", got)
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusNoContent {
+		t.Fatalf("open set rejected a request: %d", rr.Code)
+	}
+}
+
+func TestTokensRequire(t *testing.T) {
+	tok := ParseTokens("alpha, beta,")
+	if tok.Open() {
+		t.Fatalf("two-token spec parsed as open")
+	}
+	var seen string
+	h := tok.Require(func(w http.ResponseWriter, r *http.Request) {
+		seen = Token(r.Context())
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	cases := []struct {
+		header string
+		code   int
+	}{
+		{"", http.StatusUnauthorized},
+		{"Bearer wrong", http.StatusUnauthorized},
+		{"alpha", http.StatusUnauthorized}, // missing Bearer prefix
+		{"Bearer alpha", http.StatusNoContent},
+		{"Bearer beta", http.StatusNoContent},
+	}
+	for _, c := range cases {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/x", nil)
+		if c.header != "" {
+			req.Header.Set("Authorization", c.header)
+		}
+		h.ServeHTTP(rr, req)
+		if rr.Code != c.code {
+			t.Errorf("header %q: got %d, want %d", c.header, rr.Code, c.code)
+		}
+	}
+	if seen != "beta" {
+		t.Errorf("context token = %q, want beta (last accepted)", seen)
+	}
+	if got := tok.AuthFailures(); got != 3 {
+		t.Errorf("auth failures = %d, want 3", got)
+	}
+}
+
+func TestMetricsWrite(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("get", 500*time.Microsecond)
+	m.Observe("get", 50*time.Millisecond)
+	m.Observe("put", 2*time.Second)
+
+	var sb strings.Builder
+	m.Write(&sb, "testd")
+	out := sb.String()
+
+	for _, want := range []string{
+		`testd_requests_total{endpoint="get"} 2`,
+		`testd_requests_total{endpoint="put"} 1`,
+		`testd_request_duration_seconds_bucket{endpoint="get",le="0.001"} 1`,
+		`testd_request_duration_seconds_bucket{endpoint="get",le="0.1"} 2`,
+		`testd_request_duration_seconds_bucket{endpoint="get",le="+Inf"} 2`,
+		`testd_request_duration_seconds_bucket{endpoint="put",le="1"} 0`,
+		`testd_request_duration_seconds_bucket{endpoint="put",le="10"} 1`,
+		`testd_request_duration_seconds_count{endpoint="put"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	m := NewMetrics()
+	h := m.Instrument("probe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+	}))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if rr.Code != http.StatusTeapot {
+		t.Fatalf("instrumented handler lost the response: %d", rr.Code)
+	}
+	var sb strings.Builder
+	m.Write(&sb, "testd")
+	if !strings.Contains(sb.String(), `testd_requests_total{endpoint="probe"} 1`) {
+		t.Fatalf("instrument did not record the request:\n%s", sb.String())
+	}
+}

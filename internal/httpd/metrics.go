@@ -1,0 +1,120 @@
+package httpd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Counter writes one Prometheus text-format counter.
+func Counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// Gauge writes one Prometheus text-format gauge.
+func Gauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+// latencyBuckets are the coarse histogram bounds, in seconds. Requests
+// here split into "served from memory", "one disk round trip" and
+// "ran simulations"; decade buckets separate those regimes without the
+// cardinality of a tuned histogram.
+var latencyBuckets = [...]float64{0.001, 0.01, 0.1, 1, 10}
+
+// endpointStats accumulates one endpoint's request count and latency
+// histogram.
+type endpointStats struct {
+	count   int64
+	sum     float64 // seconds
+	buckets [len(latencyBuckets) + 1]int64
+}
+
+// Metrics is a per-endpoint request-count and latency registry shared
+// by the daemons' /metrics handlers. The zero value is not usable; use
+// NewMetrics.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// Observe records one request against an endpoint label.
+func (m *Metrics) Observe(endpoint string, d time.Duration) {
+	secs := d.Seconds()
+	bucket := len(latencyBuckets)
+	for i, le := range latencyBuckets {
+		if secs <= le {
+			bucket = i
+			break
+		}
+	}
+	m.mu.Lock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{}
+		m.endpoints[endpoint] = st
+	}
+	st.count++
+	st.sum += secs
+	st.buckets[bucket]++
+	m.mu.Unlock()
+}
+
+// Instrument wraps a handler so every request is counted and timed
+// under the given endpoint label.
+func (m *Metrics) Instrument(endpoint string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, r)
+		m.Observe(endpoint, time.Since(start))
+	})
+}
+
+// Write emits the registry in Prometheus text format:
+// <prefix>_requests_total{endpoint="..."} per endpoint and a
+// <prefix>_request_duration_seconds histogram labeled the same way.
+func (m *Metrics) Write(w io.Writer, prefix string) {
+	type row struct {
+		name string
+		st   endpointStats
+	}
+	m.mu.Lock()
+	rows := make([]row, 0, len(m.endpoints))
+	for name, st := range m.endpoints {
+		rows = append(rows, row{name, *st})
+	}
+	m.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+
+	reqs := prefix + "_requests_total"
+	fmt.Fprintf(w, "# HELP %s Requests per endpoint.\n# TYPE %s counter\n", reqs, reqs)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s{endpoint=%q} %d\n", reqs, r.name, r.st.count)
+	}
+	hist := prefix + "_request_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Request latency per endpoint.\n# TYPE %s histogram\n", hist, hist)
+	for _, r := range rows {
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += r.st.buckets[i]
+			fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n", hist, r.name, trimFloat(le), cum)
+		}
+		cum += r.st.buckets[len(latencyBuckets)]
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", hist, r.name, cum)
+		fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", hist, r.name, r.st.sum)
+		fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", hist, r.name, r.st.count)
+	}
+}
+
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -143,6 +143,7 @@ func DefaultConfig() Config {
 			"pracsim/internal/exp/shard",
 			"pracsim/internal/exp/journal",
 			"pracsim/internal/exp/dispatch",
+			"pracsim/internal/exp/service",
 		},
 		FaultPkg:      "pracsim/internal/fault",
 		RegistryVar:   "knownPoints",

@@ -24,8 +24,10 @@ import (
 	"pracsim/internal/exp/journal"
 	"pracsim/internal/exp/shard"
 	"pracsim/internal/exp/store"
+	"pracsim/internal/exp/service"
 	storeserver "pracsim/internal/exp/store/server"
 	"pracsim/internal/fault"
+	"pracsim/internal/httpd"
 	"pracsim/internal/mitigation"
 	"pracsim/internal/retry"
 	"pracsim/internal/sim"
@@ -323,6 +325,58 @@ var (
 	RunTable5 = exp.RunTable5
 	// RunRFMpb evaluates the Section 7.2 per-bank TB-RFM extension.
 	RunRFMpb = exp.RunRFMpb
+)
+
+// Experiment service (cmd/pracsimd): experiments as a multi-tenant job
+// queue — grid specs submitted over HTTP, run keys deduped against the
+// store, shard work items leased to pull workers, progress streamed
+// over SSE, and the whole queue journal-backed so a killed daemon
+// restarts with zero re-executed runs.
+type (
+	// ExpService is the pracsimd HTTP daemon: job API, dedup queue,
+	// lease protocol, SSE streams and result serving in one handler.
+	ExpService = service.Server
+	// ExpServiceOptions configures an ExpService (scales, tokens,
+	// quotas, lease TTL, journal path, store).
+	ExpServiceOptions = service.Options
+	// ExpGridSpec is a submitted job: experiments × scale × shards ×
+	// priority, validated against tpracsim's flag grammar.
+	ExpGridSpec = service.GridSpec
+	// ExpJobStatus is a job's live status snapshot (state, progress,
+	// executed-run and warm-key counts, results).
+	ExpJobStatus = service.JobStatus
+	// ExpServiceClient is the typed client for the pracsimd job and
+	// worker APIs (used by tpracsim -pull).
+	ExpServiceClient = service.Client
+	// ExpServiceRestore reports what a restarting daemon adopted from
+	// its queue journal (jobs, acked items, requeued items).
+	ExpServiceRestore = service.RestoreSummary
+	// PullWorkerOptions configures a lease-execute-ack pull worker.
+	PullWorkerOptions = service.WorkerOptions
+	// PullWorkerSummary is a pull worker's exit accounting (items,
+	// runs, executed, failures).
+	PullWorkerSummary = service.WorkerSummary
+	// AuthTokens is the shared bearer-token set guarding pracstored
+	// and pracsimd endpoints.
+	AuthTokens = httpd.Tokens
+	// HTTPMetrics tracks per-endpoint request counts and latency
+	// histograms for a daemon's /metrics page.
+	HTTPMetrics = httpd.Metrics
+)
+
+var (
+	// NewExpService builds the pracsimd daemon, replaying its queue
+	// journal if one exists.
+	NewExpService = service.New
+	// NewExpServiceClient opens a typed client for a pracsimd URL.
+	NewExpServiceClient = service.NewClient
+	// RunPullWorker leases, executes and acks shard work items from a
+	// pracsimd daemon until the context ends (tpracsim -pull).
+	RunPullWorker = service.RunWorker
+	// ParseAuthTokens parses a comma-separated bearer-token list.
+	ParseAuthTokens = httpd.ParseTokens
+	// NewHTTPMetrics returns an empty per-endpoint metrics tracker.
+	NewHTTPMetrics = httpd.NewMetrics
 )
 
 // ErrDispatchInterrupted reports a dispatch cancelled mid-fleet (signal
